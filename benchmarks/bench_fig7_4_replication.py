@@ -1,0 +1,49 @@
+"""Figure 7.4 — varying the replication factor R.
+
+Paper shape: a higher R lets each tenant-group tolerate more concurrent
+actives, so average group size grows strongly (4.7 at R = 1 to 22.2 at
+R = 4), but effectiveness grows only mildly (78.8 % to 82.0 %) because
+every group also pays for R replicas; the 2-step run time grows with R
+(more candidates fit per group).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import GROUPING_HEADERS, sweep_parameter
+from repro.config import PAPER_REPLICATION_FACTORS
+
+
+def test_fig7_4_varying_replication(benchmark, scale):
+    def experiment():
+        return sweep_parameter(
+            "replication_factor", list(PAPER_REPLICATION_FACTORS), scale=scale
+        )
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            GROUPING_HEADERS,
+            [r.as_list() for r in rows],
+            title="Figure 7.4: varying replication factor R",
+        )
+    )
+    by_r = {r.value: r for r in rows}
+    # (b) group size grows strongly and monotonically with R.
+    sizes = [by_r[r].two_step_group_size for r in (1, 2, 3, 4)]
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+    assert sizes[3] > 2.5 * sizes[0]
+    # (a) effectiveness moves much less than group size (paper: ~3 points
+    # across R = 1..4) because R replicas water the savings down.  Our
+    # R = 1 point sits lower than the paper's (documented deviation in
+    # EXPERIMENTS.md: zero tolerated concurrency bites harder on
+    # fine-grained activity), so the bound is ~16-20 points rather than 3.
+    efficiencies = [by_r[r].two_step_effectiveness for r in (1, 2, 3, 4)]
+    assert max(efficiencies) - min(efficiencies) < 0.20
+    # The R >= 2 regime matches the paper's flatness claim directly.
+    assert max(efficiencies[1:]) - min(efficiencies[1:]) < 0.08
+    # 2-step beats FFD at every R.
+    assert all(r.advantage_points > 0.0 for r in rows)

@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures and scales.
+
+Every bench prints the rows/series its figure or table reports, then runs
+its computation once under pytest-benchmark (rounds=1 — these are
+experiments, not micro-benchmarks).
+
+Scale: the paper's evaluation uses T = 5000 tenants and 30-day logs on an
+EC2 cluster; the committed benches default to a laptop scale (documented
+per experiment in EXPERIMENTS.md).  Set ``REPRO_BENCH_PROFILE=smoke`` for
+a fast sanity pass or ``REPRO_BENCH_PROFILE=large`` to push closer to the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.sweeps import BenchScale
+
+_PROFILES = {
+    "smoke": BenchScale(num_tenants=150, horizon_days=7, holiday_weekdays=0, sessions_per_size=6),
+    "default": BenchScale(num_tenants=800, horizon_days=14, holiday_weekdays=1, sessions_per_size=16),
+    "large": BenchScale(num_tenants=2000, horizon_days=21, holiday_weekdays=1, sessions_per_size=24),
+}
+
+
+def bench_profile() -> str:
+    """The active profile name."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "default")
+    if profile not in _PROFILES:
+        raise ValueError(f"REPRO_BENCH_PROFILE must be one of {sorted(_PROFILES)}")
+    return profile
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """The bench scale for this run."""
+    return _PROFILES[bench_profile()]
+
+
+@pytest.fixture(scope="session")
+def small_scale(scale: BenchScale) -> BenchScale:
+    """A reduced scale for quadratic-cost sweeps (fine epochs, DIRECT)."""
+    return BenchScale(
+        num_tenants=max(100, scale.num_tenants // 2),
+        horizon_days=scale.horizon_days,
+        holiday_weekdays=scale.holiday_weekdays,
+        sessions_per_size=scale.sessions_per_size,
+        seed=scale.seed,
+    )
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: consolidate 200 MPPDB tenants and replay a day of queries.
+
+Walks the whole Thrifty pipeline end to end:
+
+1. Generate tenant workloads with the paper's two-step methodology
+   (session-log collection against simulated dedicated MPPDBs, then
+   multi-tenant composition across time zones).
+2. Ask the Deployment Advisor for a plan (2-step tenant grouping + TDD
+   cluster design with replication factor R = 3).
+3. Deploy on a simulated machine pool and replay the first day of the
+   composed logs through the Algorithm 1 query router.
+4. Report consolidation effectiveness and SLA outcomes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    EvaluationConfig,
+    LogGenerationConfig,
+    MultiTenantLogComposer,
+    SessionLogGenerator,
+    ThriftyService,
+)
+from repro.units import DAY, format_duration
+
+
+def main() -> None:
+    config = EvaluationConfig(
+        num_tenants=200,
+        logs=LogGenerationConfig(horizon_days=7, holiday_weekdays=0),
+        seed=42,
+    )
+
+    print("=== 1. generate tenant workloads (§7.1 methodology) ===")
+    library = SessionLogGenerator(config, sessions_per_size=8).generate()
+    workload = MultiTenantLogComposer(config, library).compose()
+    requested = workload.total_nodes_requested()
+    print(f"tenants: {len(workload)}, requesting {requested} nodes total")
+    print(f"horizon: {format_duration(workload.horizon_s)}")
+
+    from repro.analysis import validate_workload
+
+    report = validate_workload(workload)
+    print(
+        f"sanity: active ratio {report.active_ratio_unconditional:.1%}, "
+        f"{'ok' if report.ok else 'warnings: ' + '; '.join(report.warnings)}"
+    )
+
+    print("\n=== 2. plan the deployment (grouping + TDD) ===")
+    service = ThriftyService(config)
+    advice = service.deploy(workload)
+    plan = advice.plan
+    print(f"tenant groups: {len(plan)}")
+    print(f"nodes used:    {plan.total_nodes_used} of {requested} requested")
+    print(f"effectiveness: {plan.consolidation_effectiveness:.1%} of nodes saved")
+    print(f"replication:   every tenant on {config.replication_factor} MPPDBs")
+    largest = max(plan.groups, key=lambda g: len(g.tenants))
+    print(
+        f"largest group: {len(largest.tenants)} tenants sharing "
+        f"{largest.design.num_instances} x {largest.design.parallelism}-node MPPDBs"
+    )
+
+    print("\n=== 3. replay one day of queries ===")
+    report = service.replay(until=1 * DAY)
+    sla = report.sla
+    print(f"queries completed: {len(sla)}")
+    print(f"SLA met:           {sla.fraction_met:.2%} of queries")
+    print(f"mean normalized:   {sla.mean_normalized():.3f} (1.0 = isolated latency)")
+    print(f"scaling actions:   {len(report.scaling_actions())}")
+
+    print("\n=== 4. tenant economics ===")
+    invoices = service.invoices()
+    sample = invoices[0]
+    print(
+        f"tenant {sample.tenant_id}: {sample.nodes_requested}-node MPPDB, "
+        f"{sample.active_hours:.1f} active hours -> ${sample.amount:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Tenant-side economics: why rent a share of an MPPDBaaS?
+
+The paper's pitch (§1.1): companies with hundreds of GB to a few TB "can
+enjoy high-end parallel analytics at a cheap cost" because they pay for
+requested nodes x active usage, while the provider consolidates them onto
+shared hardware.  This example prices a month of service for tenants of
+each size class and compares against renting the same nodes dedicated —
+including a share of the MPPDB license (the paper quotes ~USD 15K per core
+for a commercial product).
+
+Run:  python examples/tenant_economics.py
+"""
+
+from repro.analysis.report import format_table
+from repro.config import EvaluationConfig, LogGenerationConfig
+from repro.core.pricing import PricingModel
+from repro.units import HOUR
+from repro.workload.composer import MultiTenantLogComposer
+from repro.workload.generator import SessionLogGenerator
+
+#: Rough monthly license amortization per node for a commercial MPPDB
+#: (USD 15K/core x 8 cores, written off over 36 months).
+LICENSE_PER_NODE_MONTH = 15_000 * 8 / 36
+
+
+def main() -> None:
+    config = EvaluationConfig(
+        num_tenants=150,
+        logs=LogGenerationConfig(horizon_days=28, holiday_weekdays=2),
+        seed=3,
+    )
+    library = SessionLogGenerator(config, sessions_per_size=6).generate()
+    workload = MultiTenantLogComposer(config, library).compose()
+    pricing = PricingModel(node_hour_rate=4.0)
+    period_hours = workload.horizon_s / HOUR
+
+    by_size: dict[int, list] = {}
+    for tenant in workload.tenants:
+        by_size.setdefault(tenant.nodes_requested, []).append(tenant)
+
+    rows = []
+    for size in sorted(by_size):
+        tenants = by_size[size]
+        invoices = [pricing.invoice(workload.tenant_log(t.tenant_id)) for t in tenants]
+        mean_bill = sum(i.amount for i in invoices) / len(invoices)
+        mean_hours = sum(i.active_hours for i in invoices) / len(invoices)
+        dedicated = pricing.dedicated_cost(size, period_hours)
+        license_cost = size * LICENSE_PER_NODE_MONTH
+        rows.append(
+            [
+                f"{size}-node / {size * 100}GB",
+                len(tenants),
+                round(mean_hours, 1),
+                f"${mean_bill:,.0f}",
+                f"${dedicated:,.0f}",
+                f"${license_cost:,.0f}",
+                f"{dedicated / mean_bill:,.0f}x" if mean_bill else "-",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "tenant class",
+                "tenants",
+                "active_h",
+                "MPPDBaaS bill",
+                "dedicated nodes",
+                "+license share",
+                "savings",
+            ],
+            rows,
+            title=f"A {period_hours / 24:.0f}-day service period, ${pricing.node_hour_rate}/node-hour",
+        )
+    )
+    print(
+        "\nReading: tenants are active ~10% of the time, so usage-based"
+        "\nMPPDBaaS pricing beats renting dedicated nodes by an order of"
+        "\nmagnitude before even counting the MPPDB license share."
+    )
+
+
+if __name__ == "__main__":
+    main()

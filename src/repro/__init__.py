@@ -1,0 +1,72 @@
+"""Thrifty — a reproduction of *Parallel Analytics as a Service* (SIGMOD 2013).
+
+Thrifty offers MPPDB-as-a-Service: it consolidates thousands of tenants,
+each renting a multi-node massively-parallel database, onto a far smaller
+shared cluster while guaranteeing a query-latency performance SLA for P%
+of time and a replication factor R for high availability.
+
+Quickstart::
+
+    from repro import (
+        EvaluationConfig, LogGenerationConfig,
+        SessionLogGenerator, MultiTenantLogComposer,
+        ThriftyService,
+    )
+
+    config = EvaluationConfig(num_tenants=200,
+                              logs=LogGenerationConfig(horizon_days=7))
+    library = SessionLogGenerator(config, sessions_per_size=8).generate()
+    workload = MultiTenantLogComposer(config, library).compose()
+
+    service = ThriftyService(config)
+    advice = service.deploy(workload)
+    print(f"effectiveness: {advice.plan.consolidation_effectiveness:.1%}")
+    report = service.replay(until=24 * 3600.0)
+    print(report.summary())
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.simulation` — discrete-event engine.
+* :mod:`repro.cluster` — machine nodes, pool, failures.
+* :mod:`repro.mppdb` — the simulated MPPDB substrate.
+* :mod:`repro.workload` — TPC-H/DS cost models and the §7.1 log generator.
+* :mod:`repro.packing` — LIVBPwFC and its solvers (2-step, FFD, MINLP+DIRECT, exact).
+* :mod:`repro.core` — TDD, routing, monitoring, elastic scaling, the service facade.
+* :mod:`repro.analysis` — the Chapter 7 experiment driver and reports.
+"""
+
+from .config import EvaluationConfig, LogGenerationConfig
+from .core.advisor import DeploymentAdvisor
+from .core.routing import TDDRouter
+from .core.service import ServiceReport, ThriftyService
+from .core.tdd import design_for_group
+from .errors import ReproError
+from .packing.ffd import ffd_grouping
+from .packing.livbp import GroupingSolution, LIVBPwFCProblem
+from .packing.two_step import two_step_grouping
+from .workload.activity import ActivityMatrix
+from .workload.composer import ComposedWorkload, MultiTenantLogComposer
+from .workload.generator import SessionLibrary, SessionLogGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationConfig",
+    "LogGenerationConfig",
+    "DeploymentAdvisor",
+    "TDDRouter",
+    "ServiceReport",
+    "ThriftyService",
+    "design_for_group",
+    "ReproError",
+    "ffd_grouping",
+    "GroupingSolution",
+    "LIVBPwFCProblem",
+    "two_step_grouping",
+    "ActivityMatrix",
+    "ComposedWorkload",
+    "MultiTenantLogComposer",
+    "SessionLibrary",
+    "SessionLogGenerator",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the Thrifty command line."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,49 @@
+"""Evaluation support: metrics, parameter sweeps, and text reports.
+
+:mod:`~repro.analysis.sweeps` is the Chapter 7 experiment driver — it
+builds (and caches) workloads at bench scale, runs the grouping solvers,
+and emits one row per parameter value with the three panels every figure
+reports: consolidation effectiveness, average tenant-group size, and
+solver execution time.  :mod:`~repro.analysis.report` renders the rows the
+way the benchmark harness prints them.
+"""
+
+from .bursts import (
+    BurstProfile,
+    daily_activity_fractions,
+    detect_bursts,
+    predict_next_burst,
+)
+from .effectiveness import (
+    compare_solutions,
+    effectiveness_by_size_class,
+    SolverComparison,
+)
+from .report import ascii_series, format_table
+from .validation import WorkloadReport, validate_workload
+from .sweeps import (
+    BenchScale,
+    GroupingRow,
+    build_workload,
+    run_grouping_experiment,
+    sweep_parameter,
+)
+
+__all__ = [
+    "BurstProfile",
+    "daily_activity_fractions",
+    "detect_bursts",
+    "predict_next_burst",
+    "compare_solutions",
+    "effectiveness_by_size_class",
+    "SolverComparison",
+    "ascii_series",
+    "format_table",
+    "WorkloadReport",
+    "validate_workload",
+    "BenchScale",
+    "GroupingRow",
+    "build_workload",
+    "run_grouping_experiment",
+    "sweep_parameter",
+]

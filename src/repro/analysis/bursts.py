@@ -1,0 +1,139 @@
+"""Regular-burst detection in tenant activity (Chapter 5.1).
+
+"Tenants with regular bursts in tenant activity (e.g., there are usually
+bursts near the end of a fiscal year) could be identified by Thrifty's
+regular activity monitoring and they would be excluded from consolidation
+before the bursts arrive."
+
+A burst day is a day whose active time exceeds the tenant's median busy
+day by a configurable factor; bursts are *regular* when their spacing is
+consistent, which lets :func:`predict_next_burst` warn the Deployment
+Advisor ahead of the next one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..units import DAY
+from ..workload.logs import TenantLog
+
+__all__ = [
+    "BurstProfile",
+    "daily_activity_fractions",
+    "detect_bursts",
+    "predict_next_burst",
+]
+
+
+def daily_activity_fractions(log: TenantLog, horizon_days: int) -> np.ndarray:
+    """Fraction of each day the tenant spends active."""
+    if horizon_days < 1:
+        raise ReproError("horizon_days must be >= 1")
+    fractions = np.zeros(horizon_days, dtype=np.float64)
+    for start, end in log.busy_intervals():
+        first = int(start // DAY)
+        last = int(end // DAY)
+        for day in range(first, min(last, horizon_days - 1) + 1):
+            day_start = day * DAY
+            day_end = day_start + DAY
+            overlap = min(end, day_end) - max(start, day_start)
+            if overlap > 0:
+                fractions[day] += overlap / DAY
+    return fractions
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """One tenant's burst analysis."""
+
+    tenant_id: int
+    daily_fractions: np.ndarray
+    burst_days: tuple[int, ...]
+    burst_ratio: float
+    period_days: Optional[float]
+
+    @property
+    def has_bursts(self) -> bool:
+        """Whether any burst day was found."""
+        return bool(self.burst_days)
+
+    @property
+    def is_regular(self) -> bool:
+        """Whether the bursts recur with a consistent period."""
+        return self.period_days is not None
+
+
+def detect_bursts(
+    log: TenantLog,
+    horizon_days: int,
+    threshold_ratio: float = 3.0,
+    regularity_tolerance: float = 0.2,
+) -> BurstProfile:
+    """Find burst days and, if they recur regularly, their period.
+
+    A day is a burst when its active fraction exceeds
+    ``threshold_ratio x`` the median over the tenant's *busy* days.
+    Bursts are regular when the coefficient of variation of the spacings
+    is below ``regularity_tolerance`` (needs >= 2 spacings).
+    """
+    if threshold_ratio <= 1.0:
+        raise ReproError("threshold_ratio must exceed 1.0")
+    fractions = daily_activity_fractions(log, horizon_days)
+    busy = fractions[fractions > 0]
+    if busy.size == 0:
+        return BurstProfile(
+            tenant_id=log.tenant_id,
+            daily_fractions=fractions,
+            burst_days=(),
+            burst_ratio=threshold_ratio,
+            period_days=None,
+        )
+    baseline = float(np.median(busy))
+    burst_days = tuple(int(d) for d in np.nonzero(fractions > threshold_ratio * baseline)[0])
+    period = _regular_period(burst_days, regularity_tolerance)
+    return BurstProfile(
+        tenant_id=log.tenant_id,
+        daily_fractions=fractions,
+        burst_days=burst_days,
+        burst_ratio=threshold_ratio,
+        period_days=period,
+    )
+
+
+def _regular_period(burst_days: Sequence[int], tolerance: float) -> Optional[float]:
+    if len(burst_days) < 3:
+        return None
+    spacings = np.diff(np.asarray(burst_days, dtype=np.float64))
+    mean = float(spacings.mean())
+    if mean <= 0:
+        return None
+    cv = float(spacings.std()) / mean
+    return mean if cv <= tolerance else None
+
+
+def predict_next_burst(profile: BurstProfile, after_day: int) -> Optional[int]:
+    """The next expected burst day after ``after_day``, for regular bursts.
+
+    Returns ``None`` for tenants without a regular burst pattern — those
+    are handled reactively by elastic scaling instead.
+    """
+    if not profile.is_regular or not profile.burst_days:
+        return None
+    last = profile.burst_days[-1]
+    period = profile.period_days
+    assert period is not None
+    if after_day < last:
+        # A recorded burst is still ahead.
+        upcoming = [d for d in profile.burst_days if d > after_day]
+        if upcoming:
+            return upcoming[0]
+    steps = max(1, int(np.ceil((after_day - last) / period + 1e-9)))
+    predicted = last + steps * period
+    while predicted <= after_day:
+        predicted += period
+    return int(round(predicted))

@@ -1,0 +1,77 @@
+"""Plain-text rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the output aligned and reproducible without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ReproError
+
+__all__ = ["format_table", "ascii_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    if not headers:
+        raise ReproError("a table needs headers")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_series(values: Sequence[float], width: int = 72, label: str = "") -> str:
+    """Render a numeric series as a one-line character sparkline.
+
+    Values are min-max normalized onto ten density levels; useful for the
+    RT-TTP and normalized-latency excerpts of Figure 7.7.
+    """
+    if not values:
+        raise ReproError("cannot render an empty series")
+    data = list(values)
+    if len(data) > width:
+        # Downsample by taking the worst (max) of each bucket so dips and
+        # spikes survive compression.
+        bucket = len(data) / width
+        data = [
+            max(data[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        body = _BLOCKS[0] * len(data)
+    else:
+        span = hi - lo
+        body = "".join(
+            _BLOCKS[min(int((v - lo) / span * (len(_BLOCKS) - 1)), len(_BLOCKS) - 1)]
+            for v in data
+        )
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{body}] min={lo:.4g} max={hi:.4g}"

@@ -1,0 +1,230 @@
+"""Command-line front end: ``thrifty`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``plan``    — generate a workload, run the Deployment Advisor, print the
+  plan summary and optional per-group detail.
+* ``replay``  — plan, deploy and replay the composed logs through the
+  query router; print SLA outcomes and scaling actions.
+* ``sweep``   — run a Table 7.1-style parameter sweep (one of epoch_size_s,
+  num_tenants, theta, replication_factor, sla_percent) and print the
+  three-panel rows of the §7.3 figures.
+* ``loadtimes`` — print the Table 5.1 startup/bulk-load model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.report import format_table
+from .analysis.sweeps import (
+    GROUPING_HEADERS,
+    BenchScale,
+    build_workload,
+    sweep_parameter,
+)
+from .config import EvaluationConfig
+from .core.service import ThriftyService
+from .errors import ReproError
+from .mppdb.loading import LoadTimeModel, PAPER_LOAD_TABLE
+from .units import DAY, format_duration, format_size_gb
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``thrifty`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="thrifty",
+        description="Thrifty: MPPDB-as-a-Service consolidation (SIGMOD 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tenants", type=int, default=300, help="number of tenants T")
+        p.add_argument("--days", type=int, default=7, help="log horizon in days")
+        p.add_argument("--sessions", type=int, default=8, help="library sessions per node size")
+        p.add_argument("--theta", type=float, default=0.8, help="tenant-size Zipf skew")
+        p.add_argument("--replication", type=int, default=3, help="replication factor R")
+        p.add_argument("--sla", type=float, default=99.9, help="performance SLA P%%")
+        p.add_argument("--epoch", type=float, default=1.0, help="epoch size E in seconds")
+        p.add_argument("--seed", type=int, default=20130625, help="master random seed")
+
+    plan = sub.add_parser("plan", help="compute a deployment plan")
+    add_scale_args(plan)
+    plan.add_argument("--grouping", choices=("two-step", "ffd"), default="two-step")
+    plan.add_argument("--groups", action="store_true", help="print per-group detail")
+
+    replay = sub.add_parser("replay", help="plan, deploy and replay the logs")
+    add_scale_args(replay)
+    replay.add_argument("--grouping", choices=("two-step", "ffd"), default="two-step")
+    replay.add_argument(
+        "--scaling",
+        choices=("lightweight", "proactive", "whole-group", "disabled"),
+        default="lightweight",
+    )
+    replay.add_argument("--replay-days", type=float, default=1.0, help="days of logs to replay")
+
+    sweep = sub.add_parser("sweep", help="run a Table 7.1-style parameter sweep")
+    add_scale_args(sweep)
+    sweep.add_argument(
+        "parameter",
+        choices=("epoch_size_s", "num_tenants", "theta", "replication_factor", "sla_percent"),
+    )
+    sweep.add_argument("values", nargs="+", help="parameter values to sweep")
+
+    sub.add_parser("loadtimes", help="print the Table 5.1 load-time model")
+    return parser
+
+
+def _scale_from_args(args: argparse.Namespace) -> BenchScale:
+    return BenchScale(
+        num_tenants=args.tenants,
+        horizon_days=args.days,
+        holiday_weekdays=0 if args.days < 14 else 1,
+        sessions_per_size=args.sessions,
+        seed=args.seed,
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> EvaluationConfig:
+    return _scale_from_args(args).config(
+        theta=args.theta,
+        replication_factor=args.replication,
+        sla_percent=args.sla,
+        epoch_size_s=args.epoch,
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    workload = build_workload(config, args.sessions)
+    service = ThriftyService(config, grouping=args.grouping)
+    advice = service.deploy(workload)
+    plan = advice.plan
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["tenants", len(workload)],
+                ["excluded from consolidation", len(advice.excluded)],
+                ["tenant groups", len(plan)],
+                ["nodes requested", plan.total_nodes_requested],
+                ["nodes used", plan.total_nodes_used],
+                ["effectiveness", f"{plan.consolidation_effectiveness:.1%}"],
+                ["grouping", advice.grouping.solver],
+                ["grouping time", f"{advice.grouping.solve_seconds:.2f}s"],
+            ],
+            title="Deployment plan",
+        )
+    )
+    if args.groups:
+        print()
+        print(
+            format_table(
+                ["group", "tenants", "parallelism", "A", "nodes", "requested"],
+                [
+                    [
+                        g.group_name,
+                        len(g.tenants),
+                        g.design.parallelism,
+                        g.design.num_instances,
+                        g.nodes_used,
+                        g.nodes_requested,
+                    ]
+                    for g in plan
+                ],
+                title="Per-group detail",
+            )
+        )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    workload = build_workload(config, args.sessions)
+    service = ThriftyService(config, grouping=args.grouping, scaling=args.scaling)
+    service.deploy(workload)
+    report = service.replay(until=args.replay_days * DAY)
+    sla = report.sla
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["replayed", format_duration(args.replay_days * DAY)],
+                ["queries completed", len(sla)],
+                ["SLA met", f"{sla.fraction_met:.2%}"],
+                ["mean normalized latency", f"{sla.mean_normalized():.3f}"],
+                ["worst normalized latency", f"{sla.worst_normalized:.2f}"],
+                ["effectiveness", f"{report.consolidation_effectiveness:.1%}"],
+                ["scaling actions", len(report.scaling_actions())],
+            ],
+            title="Replay report",
+        )
+    )
+    for action in report.scaling_actions():
+        print(
+            f"  scaling at {format_duration(action.time)}: {action.kind} "
+            f"over_active={list(action.over_active)} "
+            f"loaded={format_size_gb(action.loaded_gb)}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    caster = int if args.parameter in ("num_tenants", "replication_factor") else float
+    values = [caster(v) for v in args.values]
+    rows = sweep_parameter(args.parameter, values, scale=_scale_from_args(args))
+    print(
+        format_table(
+            GROUPING_HEADERS,
+            [r.as_list() for r in rows],
+            title=f"Sweep over {args.parameter}",
+        )
+    )
+    return 0
+
+
+def _cmd_loadtimes(args: argparse.Namespace) -> int:
+    model = LoadTimeModel()
+    print(
+        format_table(
+            ["tenant/data", "startup_s", "bulk_load_s", "total"],
+            [
+                [
+                    f"{nodes}-node / {format_size_gb(gb)}",
+                    round(model.startup_seconds(nodes)),
+                    round(model.bulk_load_seconds(gb)),
+                    format_duration(model.provision_seconds(nodes, gb)),
+                ]
+                for nodes, (gb, __, __) in sorted(PAPER_LOAD_TABLE.items())
+            ],
+            title="Load-time model (calibrated to Table 5.1)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "replay": _cmd_replay,
+    "sweep": _cmd_sweep,
+    "loadtimes": _cmd_loadtimes,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

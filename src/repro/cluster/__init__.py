@@ -1,0 +1,21 @@
+"""Hardware substrate: machine nodes, the machine pool, and failures.
+
+Thrifty assumes all nodes in the cluster are identical in configuration
+(Chapter 3); the pool hands out nodes to MPPDB instances, hibernates the
+rest (the Deployment Master "switches off/hibernates nodes that are not
+listed in the deployment plan"), and injects node failures for the
+availability tests.
+"""
+
+from .failures import FailureInjector, NodeFailure
+from .node import Node, NodeSpec, NodeState
+from .pool import MachinePool
+
+__all__ = [
+    "Node",
+    "NodeSpec",
+    "NodeState",
+    "MachinePool",
+    "FailureInjector",
+    "NodeFailure",
+]

@@ -1,0 +1,126 @@
+"""Node failure injection.
+
+"Node failure is handled directly by the MPPDB.  All major MPPDB products
+can still stay online even with (some) node failure.  Thrifty will replace a
+failed node by starting a new node upon receiving node failure notification"
+(Chapter 4.4).  The injector draws failure times from an exponential
+distribution per node and notifies a callback, which the provisioning layer
+uses to trigger replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ClusterError
+from ..simulation.engine import Simulator
+from .pool import MachinePool
+
+__all__ = ["NodeFailure", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A failure notification: which node failed, when, and its owner."""
+
+    node_id: int
+    time: float
+    owner: Optional[str]
+
+
+FailureHandler = Callable[[NodeFailure], None]
+
+
+class FailureInjector:
+    """Schedules random node failures on a simulator.
+
+    Parameters
+    ----------
+    pool:
+        The machine pool whose in-use nodes may fail.
+    simulator:
+        Engine on which failure events are scheduled.
+    mtbf_s:
+        Per-node mean time between failures, in seconds.
+    rng:
+        Source of randomness (a ``numpy`` generator).
+    """
+
+    def __init__(
+        self,
+        pool: MachinePool,
+        simulator: Simulator,
+        mtbf_s: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if mtbf_s <= 0:
+            raise ClusterError(f"mtbf_s must be positive, got {mtbf_s!r}")
+        self._pool = pool
+        self._sim = simulator
+        self._mtbf = float(mtbf_s)
+        self._rng = rng
+        self._handlers: list[FailureHandler] = []
+        self._failures: list[NodeFailure] = []
+
+    @property
+    def failures(self) -> list[NodeFailure]:
+        """All failures injected so far (copy)."""
+        return list(self._failures)
+
+    def on_failure(self, handler: FailureHandler) -> None:
+        """Register a callback invoked on every injected failure."""
+        self._handlers.append(handler)
+
+    def arm(self, horizon: float) -> int:
+        """Schedule failures for all currently in-use nodes up to ``horizon``.
+
+        Each in-use node gets independent exponential inter-failure times;
+        returns the number of failure events scheduled.
+        """
+        scheduled = 0
+        for node in list(self._pool.nodes_in_state(self._running_state())):
+            t = self._sim.now
+            while True:
+                t += float(self._rng.exponential(self._mtbf))
+                if t >= horizon:
+                    break
+                self._sim.schedule(
+                    t,
+                    self._make_failure_callback(node.node_id),
+                    label=f"node-failure:{node.node_id}",
+                )
+                scheduled += 1
+        return scheduled
+
+    def inject_now(self, node_id: int) -> NodeFailure:
+        """Deterministically fail a node right now (for tests)."""
+        return self._fire(node_id, self._sim.now)
+
+    def _make_failure_callback(self, node_id: int) -> Callable[[float], None]:
+        def _cb(time: float) -> None:
+            node = self._pool.node(node_id)
+            # A node released or already failed since arming cannot fail again.
+            if node.assigned_to is None or node.state.value == "failed":
+                return
+            self._fire(node_id, time)
+
+        return _cb
+
+    def _fire(self, node_id: int, time: float) -> NodeFailure:
+        node = self._pool.node(node_id)
+        owner = node.assigned_to
+        self._pool.fail_node(node_id)
+        failure = NodeFailure(node_id=node_id, time=time, owner=owner)
+        self._failures.append(failure)
+        for handler in self._handlers:
+            handler(failure)
+        return failure
+
+    @staticmethod
+    def _running_state():
+        from .node import NodeState
+
+        return NodeState.RUNNING

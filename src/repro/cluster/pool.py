@@ -1,0 +1,205 @@
+"""The machine pool.
+
+The Deployment Master draws groups of nodes from a single
+:class:`MachinePool`, one group per MPPDB instance of the deployment plan,
+and hibernates everything else.  The pool also supports growing on demand —
+the paper's elastic scaling "makes good use of the elastic nature of cloud
+computing" (Chapter 5.1), i.e. new nodes can always be rented — and
+replacing failed nodes ("Thrifty will replace a failed node by starting a
+new node", Chapter 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import CapacityError, ClusterError
+from .node import DEFAULT_NODE_SPEC, Node, NodeSpec, NodeState
+
+__all__ = ["MachinePool"]
+
+
+class MachinePool:
+    """A pool of machine nodes, homogeneous by default.
+
+    Thrifty's base assumption is a homogeneous cluster (Ch. 3); the pool
+    additionally supports *named node classes* (:meth:`add_node_class`) as
+    the substrate for the paper's first future-work item, heterogeneous
+    clusters.  Every instance still draws all its nodes from a single
+    class — MPPDBs want uniform workers — so heterogeneity lives *between*
+    tenant groups, not inside an instance.
+
+    Parameters
+    ----------
+    size:
+        Number of ``"standard"``-class nodes initially in the pool.
+    spec:
+        Hardware spec of the ``"standard"`` class.
+    elastic:
+        When true (the default), :meth:`allocate` grows the pool instead of
+        failing when not enough hibernated nodes remain — modelling a cloud
+        provider from which additional nodes can be rented.
+    """
+
+    def __init__(self, size: int = 0, spec: NodeSpec = DEFAULT_NODE_SPEC, elastic: bool = True) -> None:
+        if size < 0:
+            raise ClusterError(f"pool size must be non-negative, got {size!r}")
+        self._spec = spec
+        self._elastic = bool(elastic)
+        self._classes: dict[str, NodeSpec] = {"standard": spec}
+        self._nodes: list[Node] = [Node(i, spec) for i in range(size)]
+        self._rented = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def spec(self) -> NodeSpec:
+        """The ``"standard"`` class's node spec."""
+        return self._spec
+
+    @property
+    def node_classes(self) -> dict[str, NodeSpec]:
+        """Known node classes (copy)."""
+        return dict(self._classes)
+
+    def add_node_class(self, name: str, spec: NodeSpec, count: int = 0) -> None:
+        """Register a hardware class and optionally stock it with nodes."""
+        if not name:
+            raise ClusterError("node class names must be non-empty")
+        if name in self._classes:
+            raise ClusterError(f"node class {name!r} already exists")
+        if count < 0:
+            raise ClusterError("count must be non-negative")
+        self._classes[name] = spec
+        for __ in range(count):
+            self._nodes.append(Node(len(self._nodes), spec, node_class=name))
+
+    def class_spec(self, node_class: str) -> NodeSpec:
+        """The spec of a node class."""
+        try:
+            return self._classes[node_class]
+        except KeyError:
+            raise ClusterError(f"unknown node class {node_class!r}") from None
+
+    @property
+    def elastic(self) -> bool:
+        """Whether the pool grows on demand."""
+        return self._elastic
+
+    @property
+    def rented_nodes(self) -> int:
+        """Nodes added beyond the initial stock (rented from the cloud)."""
+        return self._rented
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        if not (0 <= node_id < len(self._nodes)):
+            raise ClusterError(f"unknown node id {node_id!r}")
+        return self._nodes[node_id]
+
+    def nodes_in_state(self, state: NodeState) -> list[Node]:
+        """All nodes currently in ``state``."""
+        return [n for n in self._nodes if n.state == state]
+
+    def available_count_of(self, node_class: str = "standard") -> int:
+        """Number of hibernated, unassigned nodes of one class."""
+        self.class_spec(node_class)
+        return sum(
+            1 for n in self._nodes if n.is_available and n.node_class == node_class
+        )
+
+    @property
+    def available_count(self) -> int:
+        """Number of hibernated, unassigned nodes (all classes)."""
+        return sum(1 for n in self._nodes if n.is_available)
+
+    @property
+    def in_use_count(self) -> int:
+        """Number of nodes currently assigned to an instance."""
+        return sum(1 for n in self._nodes if n.assigned_to is not None)
+
+    def allocate(self, count: int, owner: str, node_class: str = "standard") -> list[Node]:
+        """Hand out ``count`` same-class nodes to ``owner``.
+
+        Grows the pool (renting nodes of that class) when elastic.  The
+        returned nodes are in ``STARTING`` state; the MPPDB provisioning
+        layer marks them running once the startup delay elapses.
+        """
+        if count < 1:
+            raise ClusterError(f"allocation count must be >= 1, got {count!r}")
+        spec = self.class_spec(node_class)
+        available = [
+            n for n in self._nodes if n.is_available and n.node_class == node_class
+        ]
+        if len(available) < count:
+            if not self._elastic:
+                raise CapacityError(
+                    f"pool has {len(available)} available {node_class!r} nodes; "
+                    f"{count} requested by {owner!r}"
+                )
+            missing = count - len(available)
+            for _ in range(missing):
+                node = Node(len(self._nodes), spec, node_class=node_class)
+                self._nodes.append(node)
+                available.append(node)
+            self._rented += missing
+        granted = available[:count]
+        for node in granted:
+            node.assign(owner)
+        return granted
+
+    def release(self, nodes: Iterable[Node]) -> None:
+        """Return nodes to the pool."""
+        for node in nodes:
+            node.release()
+
+    def fail_node(self, node_id: int) -> Node:
+        """Inject a failure on an in-use node; returns the failed node."""
+        node = self.node(node_id)
+        node.fail()
+        return node
+
+    def replace_failed(self, failed: Node, owner: str) -> Node:
+        """Replace a failed node with a fresh one for the same owner.
+
+        The failed node is repaired back into the available pool (its data
+        is gone either way — the MPPDB re-replicates onto the newcomer)
+        and a newly started replacement is returned.
+        """
+        if failed.state != NodeState.FAILED:
+            raise ClusterError(f"node {failed.node_id} is not failed")
+        replacement = self.allocate(1, owner, node_class=failed.node_class)[0]
+        failed.repair()
+        return replacement
+
+    def utilization_summary(self) -> dict[str, int]:
+        """Counts per lifecycle state, for reporting."""
+        summary = {state.value: 0 for state in NodeState}
+        for node in self._nodes:
+            summary[node.state.value] += 1
+        return summary
+
+    def owners(self) -> dict[str, list[int]]:
+        """Mapping from owner name to the sorted node ids it holds."""
+        result: dict[str, list[int]] = {}
+        for node in self._nodes:
+            if node.assigned_to is not None:
+                result.setdefault(node.assigned_to, []).append(node.node_id)
+        for ids in result.values():
+            ids.sort()
+        return result
+
+    def nodes_of(self, owner: str) -> list[Node]:
+        """All nodes assigned to ``owner``."""
+        return [n for n in self._nodes if n.assigned_to == owner]
+
+    def release_owner(self, owner: str) -> int:
+        """Release every node held by ``owner``; returns how many."""
+        nodes = self.nodes_of(owner)
+        for node in nodes:
+            if node.state == NodeState.FAILED:
+                node.repair()
+            else:
+                node.release()
+        return len(nodes)

@@ -1,0 +1,207 @@
+"""The Deployment Advisor (Chapter 3, component (b)).
+
+Takes tenant activity statistics, tenant node requests, the replication
+factor ``R`` and the SLA guarantee ``P``, and returns a deployment plan:
+tenant grouping (Chapter 5's heuristics) followed by TDD cluster design and
+placement per group with ``A = R``.
+
+Always-active or oversized tenants "offer little room for consolidation"
+and are excluded up front (Chapter 3, footnote: dedicated nodes under
+another service plan); the advisor returns them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..config import EvaluationConfig
+from ..errors import DeploymentError
+from ..packing.ffd import ffd_grouping
+from ..packing.livbp import GroupingSolution, LIVBPwFCProblem
+from ..packing.two_step import two_step_grouping
+from ..units import TB
+from ..workload.activity import ActivityMatrix
+from ..workload.composer import ComposedWorkload
+from ..workload.tenant import TenantSpec
+from .deployment import DeploymentPlan, GroupDeployment
+from .tdd import design_for_group
+
+__all__ = ["DeploymentAdvisor", "AdvisorResult", "GROUPING_ALGORITHMS"]
+
+#: Available grouping back-ends, by name.
+GROUPING_ALGORITHMS: dict[str, Callable[[LIVBPwFCProblem], GroupingSolution]] = {
+    "two-step": two_step_grouping,
+    "ffd": ffd_grouping,
+}
+
+
+@dataclass(frozen=True)
+class AdvisorResult:
+    """A plan plus the tenants excluded from consolidation."""
+
+    plan: DeploymentPlan
+    grouping: GroupingSolution
+    excluded: tuple[TenantSpec, ...]
+
+    @property
+    def excluded_nodes(self) -> int:
+        """Nodes consumed by excluded tenants (dedicated service plan)."""
+        return sum(t.nodes_requested for t in self.excluded)
+
+
+class DeploymentAdvisor:
+    """Computes deployment plans from tenant activity."""
+
+    def __init__(
+        self,
+        config: EvaluationConfig,
+        grouping: str = "two-step",
+        max_active_fraction: float = 0.5,
+        max_data_gb: float = 10 * TB,
+    ) -> None:
+        if grouping not in GROUPING_ALGORITHMS:
+            raise DeploymentError(
+                f"unknown grouping {grouping!r}; options: {sorted(GROUPING_ALGORITHMS)}"
+            )
+        if not (0 < max_active_fraction <= 1):
+            raise DeploymentError("max_active_fraction must be in (0, 1]")
+        if max_data_gb <= 0:
+            raise DeploymentError("max_data_gb must be positive")
+        self._config = config
+        self._grouping_name = grouping
+        self._grouping = GROUPING_ALGORITHMS[grouping]
+        self._max_active_fraction = max_active_fraction
+        self._max_data_gb = max_data_gb
+
+    @property
+    def grouping_name(self) -> str:
+        """The configured grouping back-end's name."""
+        return self._grouping_name
+
+    def _split_excluded(
+        self, matrix: ActivityMatrix, tenants: Sequence[TenantSpec]
+    ) -> tuple[list[TenantSpec], list[TenantSpec]]:
+        """Separate consolidable tenants from always-active / oversized ones."""
+        by_id = {t.tenant_id: t for t in tenants}
+        consolidable: list[TenantSpec] = []
+        excluded: list[TenantSpec] = []
+        for item in matrix.items:
+            spec = by_id.get(item.tenant_id)
+            if spec is None:
+                raise DeploymentError(f"activity for unknown tenant {item.tenant_id}")
+            active_fraction = item.active_epoch_count / matrix.num_epochs
+            if active_fraction > self._max_active_fraction or spec.data_gb > self._max_data_gb:
+                excluded.append(spec)
+            else:
+                consolidable.append(spec)
+        return consolidable, excluded
+
+    def plan_from_matrix(
+        self, matrix: ActivityMatrix, tenants: Sequence[TenantSpec]
+    ) -> AdvisorResult:
+        """Group the consolidable tenants and apply TDD per group."""
+        consolidable, excluded = self._split_excluded(matrix, tenants)
+        if not consolidable:
+            raise DeploymentError("no consolidable tenants (all excluded)")
+        keep_ids = {t.tenant_id for t in consolidable}
+        sub_matrix = ActivityMatrix(
+            [item for item in matrix.items if item.tenant_id in keep_ids],
+            matrix.num_epochs,
+        )
+        problem = LIVBPwFCProblem.from_activity_matrix(
+            sub_matrix, self._config.replication_factor, self._config.sla_percent
+        )
+        solution = self._grouping(problem)
+        solution.validate()
+        by_id = {t.tenant_id: t for t in consolidable}
+        groups: list[GroupDeployment] = []
+        for index, group in enumerate(solution.groups):
+            specs = tuple(by_id[i] for i in group.tenant_ids)
+            design, placement = design_for_group(
+                f"tg{index}", specs, num_instances=self._config.replication_factor
+            )
+            groups.append(GroupDeployment(design=design, placement=placement, tenants=specs))
+        return AdvisorResult(
+            plan=DeploymentPlan(groups), grouping=solution, excluded=tuple(excluded)
+        )
+
+    def plan_from_workload(
+        self, workload: ComposedWorkload, epoch_size: Optional[float] = None
+    ) -> AdvisorResult:
+        """Discretize a composed workload and plan from it."""
+        epoch = self._config.epoch_size_s if epoch_size is None else epoch_size
+        matrix = ActivityMatrix.from_workload(workload, epoch)
+        return self.plan_from_matrix(matrix, workload.tenants)
+
+    def reconsolidate(
+        self,
+        matrix: ActivityMatrix,
+        previous: DeploymentPlan,
+        affected_groups: set[str],
+        departed: Sequence[int] = (),
+        name_prefix: str = "rg",
+    ) -> tuple[AdvisorResult, list[GroupDeployment]]:
+        """One (re)-consolidation cycle (Chapters 3 and 5.1).
+
+        "A (re)-consolidation process is expected to be executed
+        periodically" — tenants of groups that went through elastic
+        scaling, together with tenants of groups with de-registered
+        tenants, are re-grouped on their *latest* activity; untouched
+        groups keep their deployment.
+
+        Returns the advisor result for the re-grouped tenants (new groups
+        named ``{name_prefix}{i}``) plus the list of kept groups; the
+        caller (Deployment Master / service) decommissions the affected
+        groups and deploys the new ones.
+        """
+        departed_set = set(departed)
+        unknown = [
+            name for name in affected_groups
+            if all(g.group_name != name for g in previous)
+        ]
+        if unknown:
+            raise DeploymentError(f"unknown groups to reconsolidate: {sorted(unknown)[:5]}")
+        affected = set(affected_groups)
+        for group in previous:
+            if departed_set.intersection(group.placement.tenant_ids):
+                affected.add(group.group_name)
+        kept = [g for g in previous if g.group_name not in affected]
+        pool = [
+            t
+            for g in previous
+            if g.group_name in affected
+            for t in g.tenants
+            if t.tenant_id not in departed_set
+        ]
+        if not pool:
+            raise DeploymentError("re-consolidation pool is empty")
+        pool_ids = {t.tenant_id for t in pool}
+        sub_matrix = ActivityMatrix(
+            [item for item in matrix.items if item.tenant_id in pool_ids],
+            matrix.num_epochs,
+        )
+        missing = pool_ids - {item.tenant_id for item in sub_matrix.items}
+        if missing:
+            raise DeploymentError(
+                f"activity missing for tenants {sorted(missing)[:5]} in re-consolidation"
+            )
+        problem = LIVBPwFCProblem.from_activity_matrix(
+            sub_matrix, self._config.replication_factor, self._config.sla_percent
+        )
+        solution = self._grouping(problem)
+        solution.validate()
+        by_id = {t.tenant_id: t for t in pool}
+        new_groups: list[GroupDeployment] = []
+        for index, group in enumerate(solution.groups):
+            specs = tuple(by_id[i] for i in group.tenant_ids)
+            design, placement = design_for_group(
+                f"{name_prefix}{index}", specs, num_instances=self._config.replication_factor
+            )
+            new_groups.append(GroupDeployment(design=design, placement=placement, tenants=specs))
+        result = AdvisorResult(
+            plan=DeploymentPlan(kept + new_groups) if kept else DeploymentPlan(new_groups),
+            grouping=solution,
+            excluded=(),
+        )
+        return result, kept

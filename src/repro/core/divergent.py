@@ -1,0 +1,217 @@
+"""Tenant-driven *divergent* design (Chapter 8, future work).
+
+The paper sketches a specialized design for a restricted tenant class —
+tenants that never submit ad-hoc queries (report-generation applications
+whose query templates can be extracted).  For them:
+
+* use ``U > n_1`` nodes for ``MPPDB_0`` *upfront*, sized so that
+  ``MPPDB_0`` can absorb several concurrently active tenants without SLA
+  violations — "the crux ... is to identify the minimum value of U that
+  can afford different degrees of concurrent query processing on MPPDB_0
+  without performance SLA violations";
+* use *different partition schemes* on the different replicas (divergent
+  physical design, [6]), so each replica is tuned for a subset of the
+  known templates and non-linear queries regain speedup on their favoured
+  replica.
+
+This module implements both: :func:`minimum_tuning_nodes_for_templates`
+solves the U sizing from the known templates' scale-out curves, and
+:class:`DivergentDesigner` produces a :class:`~repro.core.tdd.ClusterDesign`
+plus a per-replica template-affinity map that the router can use.  Because
+``MPPDB_0`` absorbs overflow, a divergent group needs fewer elastic
+scalings and can run with a *smaller* ``A`` than ``R`` would otherwise
+demand — the higher consolidation effectiveness the paper predicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError, DeploymentError
+from ..mppdb.scaleout import AmdahlScaleOut, LinearScaleOut, SublinearScaleOut
+from ..workload.queries import QueryTemplate
+from ..workload.tenant import TenantSpec
+from .tdd import ClusterDesign, TenantPlacement
+
+__all__ = [
+    "minimum_tuning_nodes_for_templates",
+    "DivergentDesign",
+    "DivergentDesigner",
+    "template_serial_fraction",
+]
+
+
+def template_serial_fraction(template: QueryTemplate, probe_nodes: int = 64) -> float:
+    """Effective Amdahl serial fraction of a template's scale-out curve.
+
+    For a known template the curve itself is known; for analysis we reduce
+    it to the serial fraction an Amdahl curve would need to produce the
+    same latency at ``probe_nodes``:  ``latency(n)/latency(1) = s + (1-s)/n``.
+    """
+    curve = template.curve
+    if isinstance(curve, LinearScaleOut):
+        return 0.0
+    if isinstance(curve, AmdahlScaleOut):
+        return curve.serial_fraction
+    if isinstance(curve, SublinearScaleOut):
+        ratio = curve.latency(1.0, probe_nodes)
+        return max(0.0, (ratio - 1.0 / probe_nodes) / (1.0 - 1.0 / probe_nodes))
+    # Generic curve: probe it.
+    ratio = curve.latency(1.0, probe_nodes)
+    return max(0.0, min(1.0, (ratio - 1.0 / probe_nodes) / (1.0 - 1.0 / probe_nodes)))
+
+
+def minimum_tuning_nodes_for_templates(
+    templates: Sequence[QueryTemplate],
+    parallelism: int,
+    concurrency: int,
+    divergence_speedup: float = 1.0,
+    max_nodes: int = 4096,
+) -> int:
+    """The minimum ``U`` absorbing ``concurrency`` tenants for known templates.
+
+    Solves, per template, ``concurrency * latency_U <= latency_n`` where
+    ``latency_U`` additionally benefits from the divergent physical design
+    (``divergence_speedup >= 1`` — each template's favoured partition
+    scheme runs it that much faster), and returns the maximum over
+    templates.  Raises when some template's serial fraction makes the
+    target unreachable at any ``U <= max_nodes`` — those tenants must fall
+    back to elastic scaling.
+    """
+    if not templates:
+        raise ConfigurationError("at least one template is required")
+    if parallelism < 1:
+        raise ConfigurationError("parallelism must be >= 1")
+    if concurrency < 1:
+        raise ConfigurationError("concurrency must be >= 1")
+    if divergence_speedup < 1.0:
+        raise ConfigurationError("divergence_speedup must be >= 1")
+    worst_u = parallelism
+    for template in templates:
+        target = template.curve.latency(1.0, parallelism)
+        u = parallelism
+        while u <= max_nodes:
+            latency_u = template.curve.latency(1.0, u) / divergence_speedup
+            if concurrency * latency_u <= target * (1 + 1e-12):
+                break
+            u += 1
+        else:
+            raise ConfigurationError(
+                f"template {template.name!r} cannot absorb MPL {concurrency} "
+                f"at any U <= {max_nodes} (serial fraction "
+                f"{template_serial_fraction(template):.3f}); serve it via "
+                "elastic scaling instead"
+            )
+        worst_u = max(worst_u, u)
+    return worst_u
+
+
+@dataclass(frozen=True)
+class DivergentDesign:
+    """A divergent group's design: TDD plus per-replica template affinity."""
+
+    design: ClusterDesign
+    placement: TenantPlacement
+    #: instance name -> template names that replica's physical design favours.
+    replica_affinity: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    #: The concurrency level MPPDB_0 is sized to absorb.
+    absorbed_concurrency: int = 1
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes the divergent group consumes."""
+        return self.design.total_nodes
+
+    def favoured_replica(self, template_name: str) -> Optional[str]:
+        """The replica whose partition scheme favours a template, if any."""
+        for name, templates in self.replica_affinity.items():
+            if template_name in templates:
+                return name
+        return None
+
+
+class DivergentDesigner:
+    """Builds divergent designs for template-known tenant groups.
+
+    Parameters
+    ----------
+    divergence_speedup:
+        Speedup a template enjoys on its favoured replica ([6] reports
+        roughly 1.5-2x from divergent physical designs; default 1.5).
+    """
+
+    def __init__(self, divergence_speedup: float = 1.5) -> None:
+        if divergence_speedup < 1.0:
+            raise ConfigurationError("divergence_speedup must be >= 1")
+        self.divergence_speedup = float(divergence_speedup)
+
+    def design_group(
+        self,
+        group_name: str,
+        tenants: Sequence[TenantSpec],
+        templates: Sequence[QueryTemplate],
+        num_instances: int,
+        absorbed_concurrency: int = 2,
+    ) -> DivergentDesign:
+        """Apply the divergent design to one template-known tenant group.
+
+        ``absorbed_concurrency`` is the number of concurrently active
+        tenants ``MPPDB_0`` must absorb without SLA violations (beyond the
+        one tenant each regular replica serves).
+        """
+        if not tenants:
+            raise DeploymentError("cannot design for an empty tenant group")
+        if not templates:
+            raise DeploymentError("the divergent design requires known templates")
+        largest = max(t.nodes_requested for t in tenants)
+        tuning = minimum_tuning_nodes_for_templates(
+            templates,
+            parallelism=largest,
+            concurrency=absorbed_concurrency,
+            divergence_speedup=self.divergence_speedup,
+        )
+        design = ClusterDesign(
+            group_name=group_name,
+            num_instances=num_instances,
+            parallelism=largest,
+            tuning_parallelism=tuning,
+        )
+        placement = TenantPlacement(
+            group_name=group_name,
+            tenant_ids=tuple(t.tenant_id for t in tenants),
+            instance_names=tuple(design.instance_names()),
+        )
+        # MPPDB_0 absorbs the overflow concurrency, so its physical design
+        # favours the worst-scaling templates (they are the ones its U was
+        # sized for); the remaining templates spread round-robin over the
+        # other replicas.
+        names = design.instance_names()
+        affinity: dict[str, list[str]] = {name: [] for name in names}
+        ordered = sorted(templates, key=lambda t: template_serial_fraction(t), reverse=True)
+        share = max(1, math.ceil(len(ordered) / max(len(names), 1)))
+        for template in ordered[:share]:
+            affinity[names[0]].append(template.name)
+        others = names[1:] or names
+        for index, template in enumerate(ordered[share:]):
+            affinity[others[index % len(others)]].append(template.name)
+        return DivergentDesign(
+            design=design,
+            placement=placement,
+            replica_affinity={k: tuple(v) for k, v in affinity.items()},
+            absorbed_concurrency=absorbed_concurrency,
+        )
+
+    def supports(self, templates: Sequence[QueryTemplate], parallelism: int, concurrency: int) -> bool:
+        """Whether a divergent design can absorb the concurrency at all."""
+        try:
+            minimum_tuning_nodes_for_templates(
+                templates,
+                parallelism=parallelism,
+                concurrency=concurrency,
+                divergence_speedup=self.divergence_speedup,
+            )
+        except ConfigurationError:
+            return False
+        return True

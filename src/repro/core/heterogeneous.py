@@ -1,0 +1,97 @@
+"""Heterogeneous-cluster planning (Chapter 8, future work item 1).
+
+"Thrifty currently assumes the machine nodes in the cluster are
+homogeneous; extending Thrifty to deal with a cluster of heterogeneous
+machines is thus an important yet challenging task."
+
+The extension keeps TDD's invariant that every MPPDB instance runs on
+*uniform* nodes (MPP engines want equal workers), so heterogeneity lives
+*between* tenant groups: each group is assigned one hardware class from
+the pool.  :func:`assign_node_classes` does so greedily — the largest node
+consumers get the fastest class while stock lasts — which is
+exchange-optimal for the total weighted speed objective: in any assignment
+where a slower class serves a bigger group while a faster class serves a
+smaller one, swapping them increases ``sum(nodes_used x relative_speed)``.
+
+Faster nodes shorten query latencies on the groups they serve (every
+instance's ``speed_factor`` divides the dedicated work), which turns
+hardware upgrades into SLA headroom exactly where the most nodes are
+concentrated.
+"""
+
+from __future__ import annotations
+
+from ..cluster.pool import MachinePool
+from ..errors import DeploymentError
+from .deployment import DeploymentPlan
+
+__all__ = ["assign_node_classes", "plan_speed_summary"]
+
+
+def assign_node_classes(
+    plan: DeploymentPlan,
+    pool: MachinePool,
+    default_class: str = "standard",
+) -> dict[str, str]:
+    """Assign each tenant group a node class, fastest-to-largest.
+
+    Groups are processed in decreasing ``nodes_used`` order; each takes
+    the fastest class that still has enough *stocked* (non-rented) nodes,
+    falling back to ``default_class`` (assumed elastic) when nothing
+    faster fits.  Returns ``group name -> class name``.
+    """
+    classes = pool.node_classes
+    if default_class not in classes:
+        raise DeploymentError(f"pool has no {default_class!r} class")
+    stock = {
+        name: pool.available_count_of(name)
+        for name in classes
+        if name != default_class
+    }
+    ranked = sorted(
+        stock,
+        key=lambda name: classes[name].relative_speed,
+        reverse=True,
+    )
+    assignment: dict[str, str] = {}
+    for group in sorted(plan, key=lambda g: g.nodes_used, reverse=True):
+        chosen = default_class
+        for name in ranked:
+            if classes[name].relative_speed <= classes[default_class].relative_speed:
+                continue
+            if stock[name] >= group.nodes_used:
+                stock[name] -= group.nodes_used
+                chosen = name
+                break
+        assignment[group.group_name] = chosen
+    return assignment
+
+
+def plan_speed_summary(
+    plan: DeploymentPlan, pool: MachinePool, assignment: dict[str, str]
+) -> dict[str, float]:
+    """Aggregate speed statistics of a class assignment.
+
+    ``mean_speed`` is the node-weighted mean relative speed — the figure
+    of merit :func:`assign_node_classes` greedily maximizes.
+    """
+    classes = pool.node_classes
+    total_nodes = 0
+    weighted = 0.0
+    for group in plan:
+        name = assignment.get(group.group_name)
+        if name is None:
+            raise DeploymentError(f"group {group.group_name!r} missing from assignment")
+        if name not in classes:
+            raise DeploymentError(f"unknown node class {name!r}")
+        total_nodes += group.nodes_used
+        weighted += group.nodes_used * classes[name].relative_speed
+    if total_nodes == 0:
+        raise DeploymentError("plan uses zero nodes")
+    return {
+        "nodes": float(total_nodes),
+        "mean_speed": weighted / total_nodes,
+        "upgraded_groups": float(
+            sum(1 for c in assignment.values() if classes[c].relative_speed > 1.0)
+        ),
+    }

@@ -1,0 +1,94 @@
+"""The Deployment Master (Chapter 3, component (c)).
+
+"The Deployment Master follows the deployment plan devised by the
+Deployment Advisor to start the MPPDB instances and deploy the tenants onto
+them.  It also switches off/hibernates nodes that are not listed in the
+deployment plan."  Nodes come from the
+:class:`~repro.cluster.pool.MachinePool`; instance startup and bulk-load
+delays come from the provisioner's load model — pass ``instant=True`` when
+a deployment is assumed already in place (it is "static for days").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeploymentError
+from ..mppdb.instance import MPPDBInstance
+from ..mppdb.provisioning import Provisioner
+from .deployment import DeploymentPlan, GroupDeployment
+
+__all__ = ["DeployedGroup", "DeploymentMaster"]
+
+
+@dataclass(frozen=True)
+class DeployedGroup:
+    """One tenant group's live instances (index 0 = tuning MPPDB)."""
+
+    deployment: GroupDeployment
+    instances: tuple[MPPDBInstance, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.instances) != self.deployment.design.num_instances:
+            raise DeploymentError(
+                f"group {self.deployment.group_name!r}: "
+                f"{len(self.instances)} instances for a design of "
+                f"{self.deployment.design.num_instances}"
+            )
+
+    @property
+    def group_name(self) -> str:
+        """The tenant group's name."""
+        return self.deployment.group_name
+
+
+class DeploymentMaster:
+    """Applies deployment plans to the machine pool via the provisioner."""
+
+    def __init__(self, provisioner: Provisioner) -> None:
+        self._provisioner = provisioner
+        self._deployed: dict[str, DeployedGroup] = {}
+
+    @property
+    def provisioner(self) -> Provisioner:
+        """The provisioning layer in use."""
+        return self._provisioner
+
+    def deployed_groups(self) -> dict[str, DeployedGroup]:
+        """Currently deployed groups (copy)."""
+        return dict(self._deployed)
+
+    def deploy_group(
+        self, group: GroupDeployment, instant: bool = False, node_class: str = "standard"
+    ) -> DeployedGroup:
+        """Start one group's instances (on ``node_class`` hardware) and
+        deploy its tenants on each."""
+        if group.group_name in self._deployed:
+            raise DeploymentError(f"group {group.group_name!r} is already deployed")
+        tenant_data = [spec.as_tenant_data() for spec in group.tenants]
+        instances = []
+        for index, name in enumerate(group.design.instance_names()):
+            instances.append(
+                self._provisioner.provision(
+                    parallelism=group.design.instance_parallelism(index),
+                    tenants=tenant_data,
+                    name=name,
+                    instant=instant,
+                    node_class=node_class,
+                )
+            )
+        deployed = DeployedGroup(deployment=group, instances=tuple(instances))
+        self._deployed[group.group_name] = deployed
+        return deployed
+
+    def deploy(self, plan: DeploymentPlan, instant: bool = False) -> list[DeployedGroup]:
+        """Deploy every group of the plan, in plan order."""
+        return [self.deploy_group(group, instant=instant) for group in plan]
+
+    def decommission_group(self, group_name: str) -> None:
+        """Retire a group's instances and hibernate their nodes."""
+        deployed = self._deployed.pop(group_name, None)
+        if deployed is None:
+            raise DeploymentError(f"group {group_name!r} is not deployed")
+        for instance in deployed.instances:
+            self._provisioner.retire(instance)

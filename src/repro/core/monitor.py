@@ -1,0 +1,193 @@
+"""The Tenant Activity Monitor (Chapter 3, component (a); Chapter 5.1).
+
+"The Tenant Activity Monitor automatically collects the query logs of the
+deployed MPPDBs, derives the tenant activities, and summarizes the query
+characteristics of individual tenants."
+
+Per tenant group it tracks the concurrent-active-tenant count as a
+piecewise-constant signal (queries starting/finishing drive the
+transitions, using the strong notion of activity) and exposes:
+
+* **RT-TTP** — the run-time TTP over a sliding window (default 24 h): the
+  fraction of window time with at most ``R`` concurrently active tenants.
+  Elastic scaling triggers when it drops below ``P``.
+* Per-tenant busy intervals within a window, discretized into
+  :class:`~repro.workload.activity.ActivityItem` s — the input of the
+  over-active-tenant identification algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DeploymentError
+from ..simulation.metrics import StepSeries
+from ..units import DAY
+from ..workload.activity import ActivityItem, active_epoch_indices
+from ..workload.logs import merge_intervals
+
+__all__ = ["GroupActivityMonitor", "TenantActivityMonitor"]
+
+
+class GroupActivityMonitor:
+    """Live activity tracking for one tenant group."""
+
+    def __init__(self, group_name: str, replication_factor: int, start_time: float = 0.0) -> None:
+        if replication_factor < 1:
+            raise DeploymentError("replication_factor must be >= 1")
+        self.group_name = group_name
+        self.replication_factor = replication_factor
+        self._concurrency = StepSeries(0.0, start_time)
+        self._running: dict[int, int] = {}
+        self._open_since: dict[int, float] = {}
+        self._closed: dict[int, list[tuple[float, float]]] = {}
+        self._nodes_of: dict[int, int] = {}
+        self._excluded: set[int] = set()
+        self._start_time = start_time
+
+    @property
+    def concurrency(self) -> StepSeries:
+        """The concurrent-active-tenant signal."""
+        return self._concurrency
+
+    def register_tenant(self, tenant_id: int, nodes_requested: int) -> None:
+        """Declare a tenant of this group (needed for activity items)."""
+        self._nodes_of[tenant_id] = nodes_requested
+        self._closed.setdefault(tenant_id, [])
+
+    def exclude_tenant(self, tenant_id: int, time: float) -> None:
+        """Stop counting a tenant toward the group's concurrency.
+
+        After lightweight elastic scaling "the tenant-group excluded all
+        the activities of the removed tenant" (§7.5), which is what lets
+        its RT-TTP recover above ``P``.  If the tenant is active right
+        now, its open interval closes at ``time``.
+        """
+        if tenant_id not in self._nodes_of:
+            raise DeploymentError(f"tenant {tenant_id} is not registered with {self.group_name!r}")
+        if tenant_id in self._excluded:
+            return
+        self._excluded.add(tenant_id)
+        if tenant_id in self._running:
+            del self._running[tenant_id]
+            started = self._open_since.pop(tenant_id)
+            self._closed[tenant_id].append((started, time))
+            self._concurrency.increment(time, -1.0)
+
+    @property
+    def excluded_tenants(self) -> set[int]:
+        """Tenants no longer counted toward group concurrency (copy)."""
+        return set(self._excluded)
+
+    def on_query_start(self, tenant_id: int, time: float) -> None:
+        """A query of the tenant started somewhere in the group."""
+        if tenant_id not in self._nodes_of:
+            raise DeploymentError(f"tenant {tenant_id} is not registered with {self.group_name!r}")
+        if tenant_id in self._excluded:
+            return
+        count = self._running.get(tenant_id, 0)
+        self._running[tenant_id] = count + 1
+        if count == 0:
+            self._open_since[tenant_id] = time
+            self._concurrency.increment(time, 1.0)
+
+    def on_query_finish(self, tenant_id: int, time: float) -> None:
+        """A query of the tenant finished."""
+        if tenant_id in self._excluded:
+            return
+        count = self._running.get(tenant_id, 0)
+        if count <= 0:
+            raise DeploymentError(f"tenant {tenant_id} has no running queries to finish")
+        if count == 1:
+            del self._running[tenant_id]
+            started = self._open_since.pop(tenant_id)
+            self._closed[tenant_id].append((started, time))
+            self._concurrency.increment(time, -1.0)
+        else:
+            self._running[tenant_id] = count - 1
+
+    def active_tenants(self) -> set[int]:
+        """Tenants with at least one query currently running."""
+        return set(self._running)
+
+    def rt_ttp(self, now: float, window_s: float = DAY) -> float:
+        """Run-time TTP: fraction of the past window with <= R active tenants."""
+        start = max(self._start_time, now - window_s)
+        if now <= start:
+            return 1.0
+        return self._concurrency.fraction_time_at_most(self.replication_factor, start, now)
+
+    def max_concurrent(self, now: float, window_s: float = DAY) -> int:
+        """Maximum concurrent-active count over the past window."""
+        start = max(self._start_time, now - window_s)
+        if now <= start:
+            return 0
+        return int(self._concurrency.max_over(start, now))
+
+    def tenant_busy_intervals(self, tenant_id: int, start: float, end: float) -> list[tuple[float, float]]:
+        """A tenant's merged busy intervals clipped to ``[start, end)``."""
+        if tenant_id not in self._nodes_of:
+            raise DeploymentError(f"tenant {tenant_id} is not registered with {self.group_name!r}")
+        intervals = list(self._closed[tenant_id])
+        if tenant_id in self._open_since:
+            intervals.append((self._open_since[tenant_id], end))
+        clipped = [
+            (max(s, start), min(e, end))
+            for s, e in intervals
+            if e > start and s < end
+        ]
+        return merge_intervals(clipped)
+
+    def activity_items(self, start: float, end: float, epoch_size: float) -> list[ActivityItem]:
+        """Discretized recent activity of all registered tenants.
+
+        Epoch indices are relative to ``start`` — the input format of the
+        over-active-tenant identification algorithm (Chapter 5.1).
+        """
+        items = []
+        for tenant_id, nodes in sorted(self._nodes_of.items()):
+            if tenant_id in self._excluded:
+                continue
+            intervals = [
+                (s - start, e - start)
+                for s, e in self.tenant_busy_intervals(tenant_id, start, end)
+            ]
+            items.append(
+                ActivityItem(
+                    tenant_id=tenant_id,
+                    nodes_requested=nodes,
+                    epochs=active_epoch_indices(intervals, epoch_size),
+                )
+            )
+        return items
+
+
+class TenantActivityMonitor:
+    """Service-wide monitor: one :class:`GroupActivityMonitor` per group."""
+
+    def __init__(self, replication_factor: int, start_time: float = 0.0) -> None:
+        self._replication_factor = replication_factor
+        self._start_time = start_time
+        self._groups: dict[str, GroupActivityMonitor] = {}
+
+    def group(self, group_name: str) -> GroupActivityMonitor:
+        """Get (or lazily create) a group's monitor."""
+        monitor = self._groups.get(group_name)
+        if monitor is None:
+            monitor = GroupActivityMonitor(
+                group_name, self._replication_factor, self._start_time
+            )
+            self._groups[group_name] = monitor
+        return monitor
+
+    def groups(self) -> dict[str, GroupActivityMonitor]:
+        """All group monitors (copy)."""
+        return dict(self._groups)
+
+    def groups_below_sla(self, now: float, sla_fraction: float, window_s: float = DAY) -> list[str]:
+        """Group names whose RT-TTP over the window dropped below ``P``."""
+        return [
+            name
+            for name, monitor in sorted(self._groups.items())
+            if monitor.rt_ttp(now, window_s) < sla_fraction
+        ]

@@ -1,0 +1,166 @@
+"""Query routing (Algorithm 1) plus ablation policies.
+
+The TDD router routes *active tenants*, not individual queries: once a
+tenant has queries running on some MPPDB, every further query of it goes
+there until the tenant becomes inactive (strong notion — no query running
+anywhere).  Otherwise the tuning MPPDB ``MPPDB_0`` is preferred if free,
+then any free MPPDB, and only when *all* instances are busy does a query
+fall through to ``MPPDB_0`` for concurrent processing (the case manual
+tuning of ``U`` is for, Chapter 6).
+
+Elastic scaling pins over-active tenants to a dedicated instance
+(:meth:`QueryRouter.pin_tenant`); pinned tenants bypass Algorithm 1.
+
+The ablation routers (random-free, round-robin, always-tuning) exist for
+``bench_ablation_routing.py``: they violate the tenant-exclusivity
+invariant in different ways and show why Algorithm 1's order matters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..mppdb.instance import MPPDBInstance
+
+__all__ = [
+    "QueryRouter",
+    "TDDRouter",
+    "RandomFreeRouter",
+    "RoundRobinRouter",
+    "AlwaysTuningRouter",
+]
+
+
+class QueryRouter(abc.ABC):
+    """Routes a tenant's query to one of a tenant group's instances.
+
+    ``instances[0]`` is the tuning MPPDB ``MPPDB_0``.
+    """
+
+    def __init__(self, instances: Sequence[MPPDBInstance]) -> None:
+        if not instances:
+            raise RoutingError("a router needs at least one instance")
+        self._instances: list[MPPDBInstance] = list(instances)
+        self._pinned: dict[int, MPPDBInstance] = {}
+
+    @property
+    def instances(self) -> list[MPPDBInstance]:
+        """The instances currently routed to (copy)."""
+        return list(self._instances)
+
+    @property
+    def tuning_instance(self) -> MPPDBInstance:
+        """``MPPDB_0``."""
+        return self._instances[0]
+
+    def add_instance(self, instance: MPPDBInstance) -> None:
+        """Register an additional instance (elastic scaling)."""
+        self._instances.append(instance)
+
+    def pin_tenant(self, tenant_id: int, instance: MPPDBInstance) -> None:
+        """Route all of a tenant's future queries to ``instance``.
+
+        Used after lightweight elastic scaling: "the Deployment Advisor
+        will notify the Query Router to route queries from the over-active
+        tenant(s) to the new MPPDB" (Chapter 5.1).
+        """
+        if not instance.hosts(tenant_id):
+            raise RoutingError(
+                f"cannot pin tenant {tenant_id} to {instance.name!r}: data not deployed"
+            )
+        self._pinned[tenant_id] = instance
+
+    def unpin_tenant(self, tenant_id: int) -> None:
+        """Remove a pin (e.g. at re-consolidation)."""
+        self._pinned.pop(tenant_id, None)
+
+    @property
+    def pinned_tenants(self) -> dict[int, MPPDBInstance]:
+        """Current pin map (copy)."""
+        return dict(self._pinned)
+
+    def route(self, tenant_id: int) -> MPPDBInstance:
+        """Choose the instance a new query of ``tenant_id`` should run on."""
+        pinned = self._pinned.get(tenant_id)
+        if pinned is not None and pinned.is_ready:
+            return pinned
+        candidates = [i for i in self._instances if i.is_ready and i.hosts(tenant_id)]
+        if not candidates:
+            raise RoutingError(f"no ready instance hosts tenant {tenant_id}")
+        return self._choose(tenant_id, candidates)
+
+    @abc.abstractmethod
+    def _choose(self, tenant_id: int, candidates: list[MPPDBInstance]) -> MPPDBInstance:
+        """Policy-specific choice among ready, hosting instances."""
+
+
+class TDDRouter(QueryRouter):
+    """Algorithm 1: route the *tenant*, prefer MPPDB_0, overflow to MPPDB_0."""
+
+    def _choose(self, tenant_id: int, candidates: list[MPPDBInstance]) -> MPPDBInstance:
+        # Line 1-2: the tenant already has queries running somewhere.
+        for instance in candidates:
+            if tenant_id in instance.active_tenants:
+                return instance
+        # Line 4-5: MPPDB_0 if free.
+        tuning = candidates[0] if candidates[0] is self.tuning_instance else None
+        if tuning is not None and tuning.is_free:
+            return tuning
+        # Line 7-8: any free MPPDB.
+        for instance in candidates:
+            if instance.is_free:
+                return instance
+        # Line 10: all busy -> MPPDB_0 for concurrent processing.
+        if tuning is not None:
+            return tuning
+        return candidates[0]
+
+
+class RandomFreeRouter(QueryRouter):
+    """Ablation: pick a uniformly random free instance (no tenant affinity)."""
+
+    def __init__(self, instances: Sequence[MPPDBInstance], seed: int = 0) -> None:
+        super().__init__(instances)
+        self._rng = np.random.default_rng(seed)
+
+    def _choose(self, tenant_id: int, candidates: list[MPPDBInstance]) -> MPPDBInstance:
+        free = [i for i in candidates if i.is_free]
+        if free:
+            return free[int(self._rng.integers(0, len(free)))]
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+
+class RoundRobinRouter(QueryRouter):
+    """Ablation: per-query round robin, oblivious to busy state."""
+
+    def __init__(self, instances: Sequence[MPPDBInstance]) -> None:
+        super().__init__(instances)
+        self._next = 0
+
+    def _choose(self, tenant_id: int, candidates: list[MPPDBInstance]) -> MPPDBInstance:
+        chosen = candidates[self._next % len(candidates)]
+        self._next += 1
+        return chosen
+
+
+class AlwaysTuningRouter(QueryRouter):
+    """Ablation: everything goes to MPPDB_0 (no replication benefit)."""
+
+    def _choose(self, tenant_id: int, candidates: list[MPPDBInstance]) -> MPPDBInstance:
+        if candidates[0] is self.tuning_instance:
+            return candidates[0]
+        return candidates[0]
+
+
+ROUTER_POLICIES = {
+    "tdd": TDDRouter,
+    "random-free": RandomFreeRouter,
+    "round-robin": RoundRobinRouter,
+    "always-tuning": AlwaysTuningRouter,
+}
+
+__all__.append("ROUTER_POLICIES")

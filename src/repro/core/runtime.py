@@ -1,0 +1,372 @@
+"""Run-time replay: drive composed tenant logs through a deployed group.
+
+This is the piece that turns the static deployment into the live system of
+Figure 7.7: each logged query is submitted at its recorded time, the
+Algorithm 1 router picks an instance, the instance's fair-share engine
+produces the observed latency, the Tenant Activity Monitor tracks the
+group's concurrent-active count and RT-TTP, and the scaling policy reacts
+when the RT-TTP dips below ``P``.
+
+Two replay disciplines are supported:
+
+* **open-loop** (default) — submissions happen at their logged times even
+  when earlier queries run slow; simple and reproducible.
+* **closed-loop** (``closed_loop=True``) — the §7.1 user semantics are
+  honoured during replay: each user's next event (single query or whole
+  batch) waits for the previous one to *complete* plus the original think
+  gap, so slowdowns push later submissions back exactly as the paper's
+  imitated tenants would experience them.
+
+SLA baselines: a logged query's before-consolidation latency *is* its SLA
+(§1.1), so the baseline is the latency recorded during Step 1 log
+collection on the tenant's dedicated, exactly-sized MPPDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..errors import DeploymentError
+from ..mppdb.execution import QueryExecution
+from ..mppdb.instance import MPPDBInstance
+from ..mppdb.provisioning import Provisioner
+from ..simulation.engine import Simulator
+from ..simulation.trace import TraceRecorder
+from ..units import MINUTE
+from ..workload.logs import QueryRecord, TenantLog
+from ..workload.queries import template_by_name
+from .master import DeployedGroup
+from .monitor import GroupActivityMonitor
+from .routing import QueryRouter, TDDRouter
+from .scaling import DisabledScaling, ScalingPolicy
+from .sla import SLARecord, SLAReport
+
+__all__ = ["GroupRuntime", "RuntimeReport"]
+
+
+class _ClosedLoopChain:
+    """One user's closed-loop event chain.
+
+    An *event* is a single query or one batch (records sharing a
+    ``batch_id``), matching §7.1's user behaviour: "The user will not take
+    any action until the single query or the query batch is complete",
+    then thinks for the gap observed in the baseline log.
+    """
+
+    def __init__(self, tenant_id: int, events: list[list[QueryRecord]], until: float) -> None:
+        self.tenant_id = tenant_id
+        self.events = events
+        self.until = until
+        self.index = 0
+        self.outstanding = 0
+        # Baseline think gap before each event (clamped at zero).
+        self.gaps: list[float] = []
+        previous_finish: Optional[float] = None
+        for event in events:
+            first_submit = event[0].submit_time_s
+            if previous_finish is None:
+                self.gaps.append(0.0)
+            else:
+                self.gaps.append(max(0.0, first_submit - previous_finish))
+            previous_finish = max(r.finish_time_s for r in event)
+
+    def current_event(self) -> list[QueryRecord]:
+        return self.events[self.index]
+
+    def has_more(self) -> bool:
+        return self.index < len(self.events)
+
+
+@dataclass
+class RuntimeReport:
+    """Everything observed while replaying one group."""
+
+    group_name: str
+    sla: SLAReport
+    rt_ttp_samples: list[tuple[float, float]]
+    scaling_actions: list
+    queries_submitted: int
+    queries_completed: int
+    overflow_queries: int
+    trace: TraceRecorder = field(repr=False, default_factory=TraceRecorder)
+
+    def rt_ttp_min(self) -> float:
+        """Lowest RT-TTP sample observed."""
+        if not self.rt_ttp_samples:
+            return 1.0
+        return min(v for _, v in self.rt_ttp_samples)
+
+
+class GroupRuntime:
+    """Replays tenant logs against one deployed tenant group."""
+
+    def __init__(
+        self,
+        deployed: DeployedGroup,
+        logs: Mapping[int, TenantLog],
+        simulator: Simulator,
+        provisioner: Provisioner,
+        sla_fraction: float,
+        monitor: Optional[GroupActivityMonitor] = None,
+        router: Optional[QueryRouter] = None,
+        scaling: Optional[ScalingPolicy] = None,
+        monitor_interval_s: float = 10 * MINUTE,
+        trace: Optional[TraceRecorder] = None,
+        closed_loop: bool = False,
+    ) -> None:
+        if not (0 < sla_fraction <= 1):
+            raise DeploymentError("sla_fraction must be in (0, 1]")
+        if monitor_interval_s <= 0:
+            raise DeploymentError("monitor_interval_s must be positive")
+        self._deployed = deployed
+        self._logs = dict(logs)
+        missing = set(deployed.deployment.placement.tenant_ids) - set(self._logs)
+        if missing:
+            raise DeploymentError(f"logs missing for tenants {sorted(missing)[:5]}")
+        self._sim = simulator
+        self._provisioner = provisioner
+        self._sla_fraction = sla_fraction
+        self._monitor = monitor if monitor is not None else GroupActivityMonitor(
+            deployed.group_name,
+            deployed.deployment.design.num_instances,
+            start_time=simulator.now,
+        )
+        self._router = router if router is not None else TDDRouter(deployed.instances)
+        self._scaling = scaling if scaling is not None else DisabledScaling()
+        self._interval = monitor_interval_s
+        self._trace = trace if trace is not None else TraceRecorder()
+        self._sla_records: list[SLARecord] = []
+        self._rt_ttp_samples: list[tuple[float, float]] = []
+        self._submitted = 0
+        self._completed = 0
+        self._overflow = 0
+        self._inflight: dict[tuple[str, int], QueryRecord] = {}
+        for spec in deployed.deployment.tenants:
+            self._monitor.register_tenant(spec.tenant_id, spec.nodes_requested)
+        self._wire_completions(deployed.instances)
+        self._wired: set[MPPDBInstance] = set(deployed.instances)
+        self._scheduled = False
+        self._closed_loop = bool(closed_loop)
+        # Closed-loop bookkeeping: record identity -> its event chain.
+        self._record_chain: dict[int, "_ClosedLoopChain"] = {}
+
+    @property
+    def monitor(self) -> GroupActivityMonitor:
+        """The group's activity monitor."""
+        return self._monitor
+
+    @property
+    def router(self) -> QueryRouter:
+        """The group's query router."""
+        return self._router
+
+    def _wire_completions(self, instances) -> None:
+        for instance in instances:
+            self._wire_instance(instance)
+
+    def _wire_instance(self, instance: MPPDBInstance) -> None:
+        def _done(execution: QueryExecution, _instance=instance) -> None:
+            key = (_instance.name, execution.query_id)
+            record = self._inflight.pop(key, None)
+            if record is None:
+                return
+            self._completed += 1
+            self._monitor.on_query_finish(execution.tenant_id, execution.finish_time)
+            self._sla_records.append(
+                SLARecord(
+                    tenant_id=execution.tenant_id,
+                    group_name=self._deployed.group_name,
+                    instance_name=_instance.name,
+                    template=record.template,
+                    submit_time_s=record.submit_time_s,
+                    baseline_latency_s=record.latency_s,
+                    observed_latency_s=execution.latency_s,
+                )
+            )
+            self._on_record_complete(record, execution.finish_time)
+
+        instance.engine.on_complete(_done)
+
+    def _submit(self, tenant_id: int, record: QueryRecord, time: float) -> None:
+        spec = self._deployed.deployment.tenant(tenant_id)
+        instance = self._router.route(tenant_id)
+        if instance not in self._wired:
+            self._wire_instance(instance)
+            self._wired.add(instance)
+        if instance is self._router.tuning_instance and instance.engine.busy and (
+            tenant_id not in instance.active_tenants
+        ):
+            self._overflow += 1
+            self._trace.record(
+                time,
+                "overflow-to-tuning",
+                tenant=tenant_id,
+                concurrency=instance.engine.concurrency,
+            )
+        template = template_by_name(record.template)
+        work = (
+            template.dedicated_latency_s(spec.data_gb, instance.parallelism)
+            / instance.speed_factor
+        )
+        self._monitor.on_query_start(tenant_id, time)
+        execution = instance.submit_query(tenant_id, work, label=record.template)
+        if execution.finished:
+            # Degenerate zero-work query: completion callback already ran
+            # (without a registered record), so settle the books here.
+            self._completed += 1
+            self._monitor.on_query_finish(tenant_id, time)
+            self._sla_records.append(
+                SLARecord(
+                    tenant_id=tenant_id,
+                    group_name=self._deployed.group_name,
+                    instance_name=instance.name,
+                    template=record.template,
+                    submit_time_s=record.submit_time_s,
+                    baseline_latency_s=record.latency_s,
+                    observed_latency_s=0.0,
+                )
+            )
+            self._on_record_complete(record, time)
+        else:
+            self._inflight[(instance.name, execution.query_id)] = record
+
+    def _schedule_closed_loop(self, tenant_id: int, log: TenantLog, until: float) -> int:
+        """Build per-user event chains and schedule each chain's first event."""
+        per_user: dict[int, list[QueryRecord]] = {}
+        for record in log.records:
+            per_user.setdefault(record.user, []).append(record)
+        count = 0
+        for user, records in sorted(per_user.items()):
+            events: list[list[QueryRecord]] = []
+            for record in records:
+                same_batch = (
+                    events
+                    and record.batch_id >= 0
+                    and events[-1][0].batch_id == record.batch_id
+                )
+                if same_batch:
+                    events[-1].append(record)
+                else:
+                    events.append([record])
+            chain = _ClosedLoopChain(tenant_id, events, until)
+            count += sum(
+                len(e) for e in events if e[0].submit_time_s < until
+            )
+            first_time = events[0][0].submit_time_s
+            if first_time < until:
+                self._sim.schedule(
+                    first_time,
+                    lambda t, _chain=chain: self._submit_event(_chain, t),
+                    label="closed-loop-event",
+                )
+        return count
+
+    def _submit_event(self, chain: _ClosedLoopChain, time: float) -> None:
+        """Submit every record of the chain's current event."""
+        event = chain.current_event()
+        base = event[0].submit_time_s
+        chain.outstanding = len(event)
+        for record in event:
+            self._record_chain[id(record)] = chain
+            offset = record.submit_time_s - base
+            if offset <= 0:
+                self._submit(chain.tenant_id, record, time)
+            else:
+                self._sim.schedule(
+                    time + offset,
+                    lambda t, _r=record, _c=chain: self._submit(_c.tenant_id, _r, t),
+                    label="closed-loop-batch",
+                )
+
+    def _on_record_complete(self, record: QueryRecord, time: float) -> None:
+        """Advance the record's closed-loop chain, if any."""
+        chain = self._record_chain.pop(id(record), None)
+        if chain is None:
+            return
+        chain.outstanding -= 1
+        if chain.outstanding > 0:
+            return
+        chain.index += 1
+        if not chain.has_more():
+            return
+        next_time = time + chain.gaps[chain.index]
+        if next_time < chain.until:
+            self._sim.schedule(
+                next_time,
+                lambda t, _chain=chain: self._submit_event(_chain, t),
+                label="closed-loop-event",
+            )
+
+    def _periodic_check(self, time: float) -> None:
+        rt_ttp = self._monitor.rt_ttp(time, self._scaling.window_s)
+        self._rt_ttp_samples.append((time, rt_ttp))
+        self._scaling.maybe_scale(
+            time,
+            self._deployed,
+            self._monitor,
+            self._router,
+            self._provisioner,
+            self._sla_fraction,
+            trace=self._trace,
+        )
+
+    def schedule(self, until: float) -> int:
+        """Schedule all log submissions and periodic checks up to ``until``.
+
+        Returns the number of queries scheduled (for closed-loop mode, the
+        number the baseline timeline would submit — slow runs may defer
+        some past ``until``).  Call once, then run the simulator (directly
+        or via :meth:`run`).
+        """
+        if self._scheduled:
+            raise DeploymentError("schedule() called twice")
+        self._scheduled = True
+        count = 0
+        for tenant_id, log in sorted(self._logs.items()):
+            if tenant_id not in self._deployed.deployment.placement.tenant_ids:
+                continue
+            if self._closed_loop:
+                count += self._schedule_closed_loop(tenant_id, log, until)
+                continue
+            for record in log.records:
+                if record.submit_time_s >= until:
+                    continue
+
+                def _cb(time: float, _tenant=tenant_id, _record=record) -> None:
+                    self._submit(_tenant, _record, time)
+
+                self._sim.schedule(record.submit_time_s, _cb, label="query-submit")
+                count += 1
+        self._submitted = count
+
+        def _tick(time: float) -> None:
+            self._periodic_check(time)
+            next_time = time + self._interval
+            if next_time <= until:
+                self._sim.schedule(next_time, _tick, label="monitor-tick")
+
+        first = self._sim.now + self._interval
+        if first <= until:
+            self._sim.schedule(first, _tick, label="monitor-tick")
+        return count
+
+    def run(self, until: float) -> RuntimeReport:
+        """Schedule (if needed) and run the replay to ``until``."""
+        if not self._scheduled:
+            self.schedule(until)
+        self._sim.run(until=until)
+        return self.report()
+
+    def report(self) -> RuntimeReport:
+        """Snapshot of everything observed so far."""
+        return RuntimeReport(
+            group_name=self._deployed.group_name,
+            sla=SLAReport(self._sla_records),
+            rt_ttp_samples=list(self._rt_ttp_samples),
+            scaling_actions=list(self._scaling.actions),
+            queries_submitted=self._submitted,
+            queries_completed=self._completed,
+            overflow_queries=self._overflow,
+            trace=self._trace,
+        )

@@ -1,0 +1,124 @@
+"""Adjustable security (Chapter 8, future work item 2).
+
+"Data privacy is an important issue in DaaS.  Fortunately, privacy-aware
+query processing techniques have no significant difference between
+centralized databases and parallel databases.  We plan to incorporate
+techniques like adjustable security (e.g., [7]) into Thrifty."
+
+Adjustable security à la CryptDB/Relational Cloud runs queries over
+encrypted data, with the encryption *onion* peeled only as far as each
+query requires; stronger schemes cost more execution time.  The model
+here captures what matters to Thrifty's consolidation math:
+
+* each tenant chooses a :class:`SecurityScheme` with a latency overhead
+  multiplier (the published CryptDB figures are ~1.0–1.3x for most of
+  the onion; homomorphic aggregation is far costlier);
+* the overhead applies on the tenant's dedicated MPPDB *and* on the
+  consolidated one — "no significant difference between centralized and
+  parallel" — so per-query normalized latency (and hence the SLA
+  accounting) is unchanged;
+* but queries run longer, so tenants are *active longer*: secured
+  workloads consolidate worse.  :func:`secure_log` applies the overhead
+  to a tenant's log so the Deployment Advisor plans on the secured
+  activity, and the tests quantify the consolidation cost of privacy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from ..workload.logs import QueryRecord, TenantLog
+
+__all__ = ["SecurityScheme", "AdjustableSecurityPolicy", "secure_log"]
+
+
+class SecurityScheme(enum.Enum):
+    """Encryption level a tenant's data is served under."""
+
+    #: No encryption: the baseline.
+    PLAINTEXT = "plaintext"
+    #: Deterministic encryption: equality predicates work ciphertext-side.
+    DETERMINISTIC = "deterministic"
+    #: Order-preserving / onion layers: range predicates work; costlier.
+    ONION = "onion"
+    #: (Partially) homomorphic aggregation: strongest, slowest.
+    HOMOMORPHIC = "homomorphic"
+
+
+#: Latency overhead multiplier per scheme (CryptDB-style magnitudes).
+_DEFAULT_OVERHEADS: dict[SecurityScheme, float] = {
+    SecurityScheme.PLAINTEXT: 1.0,
+    SecurityScheme.DETERMINISTIC: 1.08,
+    SecurityScheme.ONION: 1.30,
+    SecurityScheme.HOMOMORPHIC: 2.5,
+}
+
+
+@dataclass(frozen=True)
+class AdjustableSecurityPolicy:
+    """Per-tenant security assignments with scheme overheads.
+
+    Parameters
+    ----------
+    assignments:
+        ``tenant_id -> SecurityScheme``; unlisted tenants default to
+        ``default_scheme``.
+    default_scheme:
+        Scheme for unlisted tenants (plaintext by default).
+    overheads:
+        Override the per-scheme latency multipliers (all must be >= 1).
+    """
+
+    assignments: Mapping[int, SecurityScheme] = field(default_factory=dict)
+    default_scheme: SecurityScheme = SecurityScheme.PLAINTEXT
+    overheads: Mapping[SecurityScheme, float] = field(
+        default_factory=lambda: dict(_DEFAULT_OVERHEADS)
+    )
+
+    def __post_init__(self) -> None:
+        for scheme in SecurityScheme:
+            if scheme not in self.overheads:
+                raise ConfigurationError(f"missing overhead for {scheme.value!r}")
+            if self.overheads[scheme] < 1.0:
+                raise ConfigurationError(
+                    f"overhead for {scheme.value!r} must be >= 1, "
+                    f"got {self.overheads[scheme]!r}"
+                )
+        if self.overheads[SecurityScheme.PLAINTEXT] != 1.0:
+            raise ConfigurationError("plaintext overhead must be exactly 1.0")
+
+    def scheme_of(self, tenant_id: int) -> SecurityScheme:
+        """The scheme a tenant's data is served under."""
+        return self.assignments.get(tenant_id, self.default_scheme)
+
+    def overhead_of(self, tenant_id: int) -> float:
+        """The tenant's latency multiplier."""
+        return float(self.overheads[self.scheme_of(tenant_id)])
+
+
+def secure_log(log: TenantLog, policy: AdjustableSecurityPolicy) -> TenantLog:
+    """A tenant's log as it would look under its security scheme.
+
+    Query latencies stretch by the scheme's overhead; submit times are
+    unchanged (users behave the same, their queries just take longer).
+    Because the overhead also applied during Step 1 collection on the
+    dedicated MPPDB, the stretched latency *is* the SLA baseline — privacy
+    costs activity (and therefore consolidation), not SLA compliance.
+    """
+    overhead = policy.overhead_of(log.tenant_id)
+    if overhead == 1.0:
+        return log
+    records = [
+        QueryRecord(
+            submit_time_s=r.submit_time_s,
+            latency_s=r.latency_s * overhead,
+            template=r.template,
+            user=r.user,
+            batch_id=r.batch_id,
+        )
+        for r in log.records
+    ]
+    return TenantLog(log.tenant, records)

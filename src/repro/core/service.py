@@ -1,0 +1,283 @@
+"""The :class:`ThriftyService` facade — the library's front door.
+
+Wires the whole architecture of Figure 3.1 together: the Tenant Activity
+Monitor, the Deployment Advisor, the Deployment Master and the Query
+Routers, on top of one simulator and one machine pool.  A typical session
+(see ``examples/quickstart.py``)::
+
+    service = ThriftyService(config)
+    result = service.deploy(workload)              # grouping + TDD + start instances
+    report = service.replay(until=2 * DAY)         # drive the logs, watch SLAs
+
+The replay runs *every* deployed group on the shared simulator, so
+cross-group interactions (none, by design — groups own disjoint nodes) and
+global metrics come out of one clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.pool import MachinePool
+from ..config import EvaluationConfig
+from ..errors import DeploymentError
+from ..mppdb.loading import LoadTimeModel
+from ..mppdb.provisioning import Provisioner
+from ..simulation.engine import Simulator
+from ..simulation.trace import TraceRecorder
+from ..units import MINUTE
+from ..workload.composer import ComposedWorkload
+from .advisor import AdvisorResult, DeploymentAdvisor
+from .master import DeploymentMaster
+from .monitor import TenantActivityMonitor
+from .pricing import PricingModel, TenantInvoice
+from .runtime import GroupRuntime, RuntimeReport
+from .scaling import (
+    DisabledScaling,
+    LightweightScaling,
+    ProactiveScaling,
+    ScalingPolicy,
+    WholeGroupScaling,
+)
+from .sla import SLAReport
+
+__all__ = ["ThriftyService", "ServiceReport", "SCALING_POLICIES"]
+
+#: Named scaling policies for the constructor.
+SCALING_POLICIES = {
+    "lightweight": LightweightScaling,
+    "proactive": ProactiveScaling,
+    "whole-group": WholeGroupScaling,
+    "disabled": DisabledScaling,
+}
+
+
+@dataclass
+class ServiceReport:
+    """Aggregated outcome of a service replay."""
+
+    group_reports: dict[str, RuntimeReport]
+    nodes_used: int
+    nodes_requested: int
+
+    @property
+    def sla(self) -> SLAReport:
+        """All groups' SLA records combined."""
+        records = []
+        for report in self.group_reports.values():
+            records.extend(report.sla.records)
+        return SLAReport(records)
+
+    @property
+    def consolidation_effectiveness(self) -> float:
+        """Fraction of requested nodes the deployment saves."""
+        if self.nodes_requested == 0:
+            raise DeploymentError("no requested nodes")
+        return 1.0 - self.nodes_used / self.nodes_requested
+
+    def scaling_actions(self) -> list:
+        """Every scaling action across groups, in time order."""
+        actions = []
+        for report in self.group_reports.values():
+            actions.extend(report.scaling_actions)
+        return sorted(actions, key=lambda a: a.time)
+
+    def summary(self) -> dict[str, float]:
+        """Headline service metrics."""
+        sla = self.sla
+        return {
+            "groups": float(len(self.group_reports)),
+            "queries": float(len(sla)),
+            "sla_fraction_met": sla.fraction_met,
+            "nodes_used": float(self.nodes_used),
+            "nodes_requested": float(self.nodes_requested),
+            "effectiveness": self.consolidation_effectiveness,
+            "scaling_actions": float(len(self.scaling_actions())),
+        }
+
+
+class ThriftyService:
+    """End-to-end MPPDBaaS: consolidate, deploy, route, monitor, scale."""
+
+    def __init__(
+        self,
+        config: EvaluationConfig,
+        grouping: str = "two-step",
+        scaling: str = "lightweight",
+        load_model: Optional[LoadTimeModel] = None,
+        pool: Optional[MachinePool] = None,
+        monitor_interval_s: float = 10 * MINUTE,
+    ) -> None:
+        if scaling not in SCALING_POLICIES:
+            raise DeploymentError(
+                f"unknown scaling policy {scaling!r}; options: {sorted(SCALING_POLICIES)}"
+            )
+        self.config = config
+        self.simulator = Simulator()
+        self.pool = pool if pool is not None else MachinePool(elastic=True)
+        self.provisioner = Provisioner(self.simulator, self.pool, load_model)
+        self.advisor = DeploymentAdvisor(config, grouping=grouping)
+        self.master = DeploymentMaster(self.provisioner)
+        self.monitor = TenantActivityMonitor(config.replication_factor)
+        self.trace = TraceRecorder()
+        self._scaling_name = scaling
+        self._monitor_interval = monitor_interval_s
+        self._workload: Optional[ComposedWorkload] = None
+        self._advice: Optional[AdvisorResult] = None
+        self._runtimes: dict[str, GroupRuntime] = {}
+        self._reconsolidations = 0
+
+    @property
+    def advice(self) -> AdvisorResult:
+        """The current deployment plan (after :meth:`deploy`)."""
+        if self._advice is None:
+            raise DeploymentError("deploy() has not been called")
+        return self._advice
+
+    def _historical_fractions(self) -> dict[int, float]:
+        """Per-tenant planned active fraction, from the advisor's matrix."""
+        if self._advice is None:
+            return {}
+        problem = self._advice.grouping.problem
+        return {
+            item.tenant_id: item.active_epoch_count / problem.num_epochs
+            for item in problem.items
+        }
+
+    def _make_scaling(self) -> ScalingPolicy:
+        policy_cls = SCALING_POLICIES[self._scaling_name]
+        epoch = max(self.config.epoch_size_s, 10.0)
+        if issubclass(policy_cls, LightweightScaling):
+            # Covers ProactiveScaling too: both identify over-active
+            # tenants against the planned (historical) activity.
+            return policy_cls(
+                identification_epoch_s=epoch,
+                historical_fraction=self._historical_fractions(),
+            )
+        return policy_cls(identification_epoch_s=epoch)
+
+    def deploy(
+        self,
+        workload: ComposedWorkload,
+        epoch_size: Optional[float] = None,
+        instant: bool = True,
+    ) -> AdvisorResult:
+        """Plan and deploy a workload; returns the advisor's result."""
+        if self._advice is not None:
+            raise DeploymentError("service already has a deployment; build a new service")
+        advice = self.advisor.plan_from_workload(workload, epoch_size)
+        self.master.deploy(advice.plan, instant=instant)
+        self._workload = workload
+        self._advice = advice
+        return advice
+
+    def replay(
+        self,
+        until: float,
+        group_names: Optional[list[str]] = None,
+    ) -> ServiceReport:
+        """Drive the composed logs through the deployed groups until ``until``.
+
+        ``group_names`` restricts the replay to a subset of groups (useful
+        for focused experiments like Figure 7.7, which watches a single
+        group); by default all groups replay together.
+        """
+        if self._advice is None or self._workload is None:
+            raise DeploymentError("deploy() must be called before replay()")
+        deployed = self.master.deployed_groups()
+        wanted = sorted(deployed) if group_names is None else group_names
+        for name in wanted:
+            if name not in deployed:
+                raise DeploymentError(f"group {name!r} is not deployed")
+            if name in self._runtimes:
+                raise DeploymentError(f"group {name!r} was already replayed")
+            group = deployed[name]
+            logs = {
+                tenant_id: self._workload.tenant_log(tenant_id)
+                for tenant_id in group.deployment.placement.tenant_ids
+            }
+            runtime = GroupRuntime(
+                deployed=group,
+                logs=logs,
+                simulator=self.simulator,
+                provisioner=self.provisioner,
+                sla_fraction=self.config.sla_fraction,
+                monitor=self.monitor.group(name),
+                scaling=self._make_scaling(),
+                monitor_interval_s=self._monitor_interval,
+                trace=self.trace,
+            )
+            runtime.schedule(until)
+            self._runtimes[name] = runtime
+        self.simulator.run(until=until)
+        reports = {name: self._runtimes[name].report() for name in wanted}
+        plan = self._advice.plan
+        return ServiceReport(
+            group_reports=reports,
+            nodes_used=plan.total_nodes_used,
+            nodes_requested=plan.total_nodes_requested,
+        )
+
+    def reconsolidate(
+        self,
+        departed: Optional[list[int]] = None,
+        extra_groups: Optional[list[str]] = None,
+        epoch_size: Optional[float] = None,
+    ) -> AdvisorResult:
+        """Run one (re)-consolidation cycle (Chapter 3 / 5.1).
+
+        Groups that went through elastic scaling during replay, groups
+        holding ``departed`` (de-registered) tenants, and any
+        ``extra_groups`` the administrator names are torn down; their
+        remaining tenants are re-grouped on the current activity and
+        redeployed.  Untouched groups keep running.
+        """
+        if self._advice is None or self._workload is None:
+            raise DeploymentError("deploy() must be called before reconsolidate()")
+        affected = set(extra_groups or [])
+        for name, runtime in self._runtimes.items():
+            if runtime.report().scaling_actions:
+                affected.add(name)
+        departed = list(departed or [])
+        if not affected and not departed:
+            raise DeploymentError(
+                "nothing to reconsolidate: no scaled groups, departures, or extra_groups"
+            )
+        from ..workload.activity import ActivityMatrix
+
+        epoch = self.config.epoch_size_s if epoch_size is None else epoch_size
+        matrix = ActivityMatrix.from_workload(self._workload, epoch)
+        self._reconsolidations += 1
+        result, kept = self.advisor.reconsolidate(
+            matrix,
+            self._advice.plan,
+            affected_groups=affected,
+            departed=departed,
+            name_prefix=f"rg{self._reconsolidations}-",
+        )
+        # Tear down the affected groups and any elastic-scaling instances
+        # that were spun up for them.
+        torn_down = {g.group_name for g in self._advice.plan} - {g.group_name for g in kept}
+        for name in sorted(torn_down):
+            self.master.decommission_group(name)
+            for instance in self.provisioner.live_instances():
+                if instance.name.startswith(f"{name}/scale"):
+                    self.provisioner.retire(instance)
+        for group in result.plan:
+            if group.group_name not in self.master.deployed_groups():
+                self.master.deploy_group(group, instant=True)
+        self._advice = AdvisorResult(
+            plan=result.plan, grouping=result.grouping, excluded=self._advice.excluded
+        )
+        return self._advice
+
+    def invoices(self, pricing: Optional[PricingModel] = None) -> list[TenantInvoice]:
+        """Bill every consolidated tenant for its composed activity."""
+        if self._workload is None:
+            raise DeploymentError("deploy() must be called first")
+        model = pricing if pricing is not None else PricingModel()
+        return [
+            model.invoice(self._workload.tenant_log(tenant_id))
+            for tenant_id in self._workload.tenant_ids
+        ]

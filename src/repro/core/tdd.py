@@ -1,0 +1,127 @@
+"""Tenant-Driven Design: cluster design and tenant placement (Ch. 4.1–4.2).
+
+For one tenant group of ``T`` tenants with node requests ``n_1 >= n_2 >=
+... >= n_T``, TDD divides the group's machine nodes into ``A`` node groups:
+
+* groups ``G_1 .. G_{A-1}`` each get ``n_1`` nodes (the largest request);
+* the special group ``G_0`` — the *tuning MPPDB* — gets ``U`` nodes, with
+  ``n_1 <= U <= N - (A - 1) n_1`` (Chapter 6 raises ``U`` to absorb
+  overflow concurrency; the default is ``U = n_1``, as in §7.2).
+
+Each node group runs one MPPDB instance, and *every* instance hosts *every*
+tenant of the group — Property 1: the design enforces a replication factor
+of ``A`` per tenant.  After tenant grouping, ``A = R`` (Chapter 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import DeploymentError
+from ..workload.tenant import TenantSpec
+
+__all__ = ["ClusterDesign", "TenantPlacement", "design_for_group"]
+
+
+@dataclass(frozen=True)
+class ClusterDesign:
+    """How one tenant group's nodes are arranged into MPPDB instances."""
+
+    group_name: str
+    num_instances: int
+    parallelism: int
+    tuning_parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.num_instances < 1:
+            raise DeploymentError("a cluster design needs at least one instance (A >= 1)")
+        if self.parallelism < 1:
+            raise DeploymentError("parallelism must be >= 1")
+        if self.tuning_parallelism < self.parallelism:
+            raise DeploymentError(
+                f"U = {self.tuning_parallelism} must be >= n_1 = {self.parallelism}"
+            )
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes consumed by this design: ``U + (A - 1) * n_1``."""
+        return self.tuning_parallelism + (self.num_instances - 1) * self.parallelism
+
+    def instance_parallelism(self, index: int) -> int:
+        """Node count of instance ``index`` (index 0 is the tuning MPPDB)."""
+        if not (0 <= index < self.num_instances):
+            raise DeploymentError(
+                f"instance index {index} out of range [0, {self.num_instances})"
+            )
+        return self.tuning_parallelism if index == 0 else self.parallelism
+
+    def instance_names(self) -> list[str]:
+        """Stable instance names, tuning MPPDB first."""
+        return [f"{self.group_name}/mppdb{i}" for i in range(self.num_instances)]
+
+
+@dataclass(frozen=True)
+class TenantPlacement:
+    """Which tenants go on which instances — under TDD, all on all."""
+
+    group_name: str
+    tenant_ids: tuple[int, ...]
+    instance_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tenant_ids:
+            raise DeploymentError("a placement needs at least one tenant")
+        if not self.instance_names:
+            raise DeploymentError("a placement needs at least one instance")
+        if len(set(self.tenant_ids)) != len(self.tenant_ids):
+            raise DeploymentError("tenant ids must be unique")
+
+    @property
+    def replication_factor(self) -> int:
+        """Property 1: every tenant is replicated on all ``A`` instances."""
+        return len(self.instance_names)
+
+    def instances_of(self, tenant_id: int) -> tuple[str, ...]:
+        """Instances hosting a tenant (all of them, by design)."""
+        if tenant_id not in self.tenant_ids:
+            raise DeploymentError(f"tenant {tenant_id!r} is not in group {self.group_name!r}")
+        return self.instance_names
+
+
+def design_for_group(
+    group_name: str,
+    tenants: Sequence[TenantSpec],
+    num_instances: int,
+    tuning_parallelism: Optional[int] = None,
+) -> tuple[ClusterDesign, TenantPlacement]:
+    """Apply TDD to one tenant group.
+
+    ``num_instances`` is ``A`` (after grouping, ``A = R``);
+    ``tuning_parallelism`` is ``U`` (default ``n_1``).  The upper bound on
+    ``U`` is ``N - (A - 1) n_1`` — raising ``U`` beyond it would use more
+    nodes than the tenants requested in total, defeating consolidation.
+    """
+    if not tenants:
+        raise DeploymentError("cannot design a cluster for an empty tenant group")
+    largest = max(t.nodes_requested for t in tenants)
+    total_requested = sum(t.nodes_requested for t in tenants)
+    if tuning_parallelism is None:
+        tuning_parallelism = largest
+    upper = max(largest, total_requested - (num_instances - 1) * largest)
+    if tuning_parallelism > upper:
+        raise DeploymentError(
+            f"U = {tuning_parallelism} exceeds its bound N - (A-1)n_1 = {upper}"
+        )
+    design = ClusterDesign(
+        group_name=group_name,
+        num_instances=num_instances,
+        parallelism=largest,
+        tuning_parallelism=tuning_parallelism,
+    )
+    placement = TenantPlacement(
+        group_name=group_name,
+        tenant_ids=tuple(t.tenant_id for t in tenants),
+        instance_names=tuple(design.instance_names()),
+    )
+    return design, placement

@@ -1,0 +1,89 @@
+"""Manual tuning of the tuning MPPDB's size ``U`` (Chapter 6).
+
+When a group's RT-TTP sits *slightly* below ``P`` but is not dropping, a
+new MPPDB for the over-active tenants is overkill; the administrator can
+instead raise ``U``, the node count of ``MPPDB_0``.  Overflow queries (the
+fourth, fifth, ... concurrently active tenant) are routed to ``MPPDB_0``
+for concurrent processing (Algorithm 1 line 10); with enough extra
+parallelism their latency can *empirically* still meet the SLA — point C
+of Figure 1.1b: on a large-enough instance, two concurrent linear-scale-out
+queries each still beat their dedicated-small-instance latency.
+
+:func:`recommended_tuning_nodes` computes the smallest ``U`` for which an
+overflow MPL of ``k`` concurrent tenants on ``MPPDB_0`` keeps linear
+queries within SLA: fair sharing makes each query ``k`` times slower, and a
+linear query on ``U`` nodes runs ``U / n`` times faster than on the
+tenant's ``n`` requested nodes, so ``U >= k * n``.  Non-linear queries
+(Amdahl serial fraction ``s``) may need more than any ``U`` can give —
+exactly the caveat the paper raises for R4 and leaves to the divergent
+design of its future work.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from .tdd import ClusterDesign
+
+__all__ = ["recommended_tuning_nodes", "ManualTuner"]
+
+
+def recommended_tuning_nodes(
+    parallelism: int, overflow_mpl: int, serial_fraction: float = 0.0
+) -> int:
+    """Smallest ``U`` that absorbs ``overflow_mpl`` concurrent tenants.
+
+    Solves ``overflow_mpl * latency(U) <= latency(parallelism)`` for the
+    Amdahl family ``latency(n) = s + (1 - s) / n`` (``s = 0`` is linear).
+    Raises :class:`ConfigurationError` when no ``U`` can satisfy it (the
+    serial fraction alone exceeds the budget).
+    """
+    if parallelism < 1:
+        raise ConfigurationError("parallelism must be >= 1")
+    if overflow_mpl < 1:
+        raise ConfigurationError("overflow_mpl must be >= 1")
+    if not (0 <= serial_fraction < 1):
+        raise ConfigurationError("serial_fraction must be in [0, 1)")
+    if overflow_mpl == 1:
+        return parallelism
+    target = serial_fraction + (1 - serial_fraction) / parallelism
+    # k * (s + (1-s)/U) <= target  =>  U >= k(1-s) / (target - k*s)
+    denominator = target - overflow_mpl * serial_fraction
+    if denominator <= 0:
+        raise ConfigurationError(
+            f"no tuning size can absorb MPL {overflow_mpl} with serial "
+            f"fraction {serial_fraction} at n = {parallelism}: the serial "
+            "part alone exceeds the latency budget"
+        )
+    u = overflow_mpl * (1 - serial_fraction) / denominator
+    return max(parallelism, int(math.ceil(u - 1e-9)))
+
+
+class ManualTuner:
+    """Applies an administrator's ``U`` override to a cluster design."""
+
+    def __init__(self, max_overhead_nodes: int = 8) -> None:
+        if max_overhead_nodes < 0:
+            raise ConfigurationError("max_overhead_nodes must be >= 0")
+        self._max_overhead = max_overhead_nodes
+
+    def retune(self, design: ClusterDesign, overflow_mpl: int, serial_fraction: float = 0.0) -> ClusterDesign:
+        """Return a design with ``U`` raised to absorb the observed overflow.
+
+        The increase is capped at ``max_overhead_nodes`` above ``n_1`` —
+        beyond that, elastic scaling (a whole new MPPDB) is the cheaper
+        response and the tuner refuses.
+        """
+        u = recommended_tuning_nodes(design.parallelism, overflow_mpl, serial_fraction)
+        if u - design.parallelism > self._max_overhead:
+            raise ConfigurationError(
+                f"absorbing MPL {overflow_mpl} needs U = {u} "
+                f"(> n_1 + {self._max_overhead}); use elastic scaling instead"
+            )
+        return ClusterDesign(
+            group_name=design.group_name,
+            num_instances=design.num_instances,
+            parallelism=design.parallelism,
+            tuning_parallelism=max(u, design.tuning_parallelism),
+        )

@@ -1,0 +1,46 @@
+"""MPPDB simulator substrate.
+
+A calibrated analytical stand-in for the commercial MPPDB the paper runs on
+EC2 (see DESIGN.md §2 for the substitution rationale):
+
+* :mod:`~repro.mppdb.scaleout` — per-query scale-out curves: linear
+  (TPC-H Q1-like, Figure 1.1a) and Amdahl-style non-linear (Q19-like,
+  Figure 1.1c).
+* :mod:`~repro.mppdb.execution` — a shared-process execution engine with
+  fair-share (processor-sharing) interference: ``k`` concurrently running
+  queries each progress at ``1/k`` speed, reproducing the 2x/4x slowdowns of
+  Figure 1.1a's xT-CON lines.
+* :mod:`~repro.mppdb.loading` — instance startup and bulk-load times fitted
+  to Table 5.1 (~1.2 GB/min parallel load).
+* :mod:`~repro.mppdb.instance` / :mod:`~repro.mppdb.catalog` /
+  :mod:`~repro.mppdb.provisioning` — instance lifecycle, per-tenant private
+  table sets, and node allocation.
+"""
+
+from .catalog import Catalog, TenantData
+from .execution import ExecutionEngine, QueryExecution
+from .instance import InstanceState, MPPDBInstance
+from .loading import LoadTimeModel, PAPER_LOAD_TABLE
+from .provisioning import Provisioner
+from .scaleout import (
+    AmdahlScaleOut,
+    LinearScaleOut,
+    ScaleOutCurve,
+    SublinearScaleOut,
+)
+
+__all__ = [
+    "Catalog",
+    "TenantData",
+    "ExecutionEngine",
+    "QueryExecution",
+    "InstanceState",
+    "MPPDBInstance",
+    "LoadTimeModel",
+    "PAPER_LOAD_TABLE",
+    "Provisioner",
+    "ScaleOutCurve",
+    "LinearScaleOut",
+    "AmdahlScaleOut",
+    "SublinearScaleOut",
+]

@@ -1,0 +1,78 @@
+"""Per-instance tenant catalog.
+
+Shared-process multi-tenancy means one database process hosts many tenants,
+each owning a *private set of tables* (Chapter 2.1, approach 3).  The
+catalog tracks, per instance, which tenants are deployed, their table sets
+and data sizes — the query router consults it to check a tenant's data is
+actually present before routing (requirement for correctness of TDD's
+tenant placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import MPPDBError, TenantNotHostedError
+
+__all__ = ["TenantData", "Catalog"]
+
+
+@dataclass(frozen=True)
+class TenantData:
+    """What one tenant stores on an instance."""
+
+    tenant_id: int
+    data_gb: float
+    tables: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.data_gb < 0:
+            raise MPPDBError(f"data size must be non-negative, got {self.data_gb!r}")
+
+
+class Catalog:
+    """Tenant -> data mapping for one MPPDB instance."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[int, TenantData] = {}
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, tenant_id: int) -> bool:
+        return tenant_id in self._tenants
+
+    @property
+    def tenant_ids(self) -> set[int]:
+        """Ids of all hosted tenants."""
+        return set(self._tenants)
+
+    @property
+    def total_data_gb(self) -> float:
+        """Total data stored on the instance across tenants."""
+        return sum(t.data_gb for t in self._tenants.values())
+
+    def add(self, tenant: TenantData) -> None:
+        """Deploy a tenant's data (id must not already be present)."""
+        if tenant.tenant_id in self._tenants:
+            raise MPPDBError(f"tenant {tenant.tenant_id} already deployed")
+        self._tenants[tenant.tenant_id] = tenant
+
+    def add_all(self, tenants: Iterable[TenantData]) -> None:
+        """Deploy several tenants."""
+        for tenant in tenants:
+            self.add(tenant)
+
+    def get(self, tenant_id: int) -> TenantData:
+        """Look up a hosted tenant; raises :class:`TenantNotHostedError`."""
+        try:
+            return self._tenants[tenant_id]
+        except KeyError:
+            raise TenantNotHostedError(f"tenant {tenant_id} is not hosted here") from None
+
+    def remove(self, tenant_id: int) -> TenantData:
+        """Drop a tenant's data (e.g. on de-registration or re-consolidation)."""
+        if tenant_id not in self._tenants:
+            raise TenantNotHostedError(f"tenant {tenant_id} is not hosted here")
+        return self._tenants.pop(tenant_id)

@@ -1,0 +1,187 @@
+"""Shared-process execution engine with fair-share interference.
+
+Analytical workloads are I/O-bound, so ``k`` queries running concurrently in
+the same database process each get a ``1/k`` share of the instance — this is
+exactly the behaviour measured in Figure 1.1a, where two (four) tenants
+submitting TPC-H Q1 together observe a 2x (4x) slowdown, while sequential
+submissions observe none.
+
+The engine is an egalitarian processor-sharing queue simulated exactly on a
+:class:`~repro.simulation.engine.Simulator`: each running query carries its
+*remaining dedicated work* (seconds of exclusive service); whenever the
+concurrency level changes, progress is settled and the next completion event
+is rescheduled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..errors import MPPDBError
+from ..simulation.engine import Simulator
+from ..simulation.events import ScheduledEvent
+
+__all__ = ["QueryExecution", "ExecutionEngine"]
+
+_EPS = 1e-9
+
+
+class QueryExecution:
+    """Handle for one query running (or finished) on an engine."""
+
+    def __init__(self, query_id: int, tenant_id: int, work_s: float, submit_time: float, label: str) -> None:
+        self.query_id = query_id
+        self.tenant_id = tenant_id
+        self.work_s = work_s
+        self.submit_time = submit_time
+        self.label = label
+        self.finish_time: Optional[float] = None
+        self._remaining = work_s
+
+    @property
+    def finished(self) -> bool:
+        """Whether the query has completed."""
+        return self.finish_time is not None
+
+    @property
+    def remaining_work_s(self) -> float:
+        """Dedicated-service seconds still owed to this query."""
+        return max(self._remaining, 0.0)
+
+    @property
+    def latency_s(self) -> float:
+        """Observed wall-clock latency (only after completion)."""
+        if self.finish_time is None:
+            raise MPPDBError(f"query {self.query_id} has not finished")
+        return self.finish_time - self.submit_time
+
+    @property
+    def slowdown(self) -> float:
+        """Observed latency divided by dedicated latency (>= 1 up to rounding).
+
+        This is the paper's *normalized performance* (Figure 7.7b/d): 1.0
+        means the query ran as fast as in an isolated environment.
+        """
+        if self.work_s <= 0:
+            return 1.0
+        return self.latency_s / self.work_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"finished@{self.finish_time}" if self.finished else f"remaining={self._remaining:.3f}"
+        return f"QueryExecution(id={self.query_id}, tenant={self.tenant_id}, {state})"
+
+
+CompletionCallback = Callable[[QueryExecution], None]
+
+
+class ExecutionEngine:
+    """Egalitarian processor-sharing engine for one MPPDB instance."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self._sim = simulator
+        self._running: dict[int, QueryExecution] = {}
+        self._ids = itertools.count()
+        self._last_settle = simulator.now
+        self._completion_handle: Optional[ScheduledEvent] = None
+        self._on_complete: list[CompletionCallback] = []
+        self._completed: list[QueryExecution] = []
+
+    @property
+    def concurrency(self) -> int:
+        """Number of queries currently running."""
+        return len(self._running)
+
+    @property
+    def busy(self) -> bool:
+        """Whether any query is currently running (Algorithm 1's notion of free)."""
+        return bool(self._running)
+
+    @property
+    def active_tenants(self) -> set[int]:
+        """Tenants with at least one query currently running."""
+        return {q.tenant_id for q in self._running.values()}
+
+    @property
+    def running(self) -> list[QueryExecution]:
+        """Currently running queries (copy)."""
+        return list(self._running.values())
+
+    @property
+    def completed(self) -> list[QueryExecution]:
+        """All finished queries, in completion order (copy)."""
+        return list(self._completed)
+
+    def on_complete(self, callback: CompletionCallback) -> None:
+        """Register a callback fired for every query completion."""
+        self._on_complete.append(callback)
+
+    def submit(self, tenant_id: int, work_s: float, label: str = "") -> QueryExecution:
+        """Start a query owing ``work_s`` seconds of dedicated service.
+
+        ``work_s`` is the query's latency on this instance when executed in
+        isolation (already accounting for the instance's parallelism via a
+        scale-out curve); interference with concurrent queries is the
+        engine's job.
+        """
+        if work_s < 0:
+            raise MPPDBError(f"work must be non-negative, got {work_s!r}")
+        self._settle()
+        execution = QueryExecution(
+            query_id=next(self._ids),
+            tenant_id=tenant_id,
+            work_s=work_s,
+            submit_time=self._sim.now,
+            label=label,
+        )
+        if work_s <= _EPS:
+            # Degenerate instantaneous query: complete immediately without
+            # perturbing the processor-sharing state.
+            execution.finish_time = self._sim.now
+            self._completed.append(execution)
+            for callback in self._on_complete:
+                callback(execution)
+            return execution
+        self._running[execution.query_id] = execution
+        self._reschedule()
+        return execution
+
+    def _settle(self) -> None:
+        """Account progress since the last settle at the current share rate."""
+        now = self._sim.now
+        elapsed = now - self._last_settle
+        if elapsed > 0 and self._running:
+            rate = 1.0 / len(self._running)
+            for q in self._running.values():
+                q._remaining -= elapsed * rate
+        self._last_settle = now
+
+    def _reschedule(self) -> None:
+        """(Re)schedule the next completion event."""
+        if self._completion_handle is not None:
+            self._sim.cancel(self._completion_handle)
+            self._completion_handle = None
+        if not self._running:
+            return
+        k = len(self._running)
+        next_remaining = min(q._remaining for q in self._running.values())
+        delay = max(next_remaining, 0.0) * k
+        self._completion_handle = self._sim.schedule_after(
+            delay, self._complete_due, label="engine-completion"
+        )
+
+    def _complete_due(self, time: float) -> None:
+        self._settle()
+        due = [q for q in self._running.values() if q._remaining <= _EPS]
+        if not due:
+            raise MPPDBError("completion event fired with no query due")
+        for q in sorted(due, key=lambda q: q.query_id):
+            del self._running[q.query_id]
+            q._remaining = 0.0
+            q.finish_time = time
+            self._completed.append(q)
+        self._completion_handle = None
+        self._reschedule()
+        for q in sorted(due, key=lambda q: q.query_id):
+            for callback in self._on_complete:
+                callback(q)

@@ -1,0 +1,145 @@
+"""An MPPDB instance: a group of nodes running one shared database process.
+
+TDD's cluster design creates one MPPDB per node group (Chapter 4.1); each
+instance hosts every tenant of its tenant group (Chapter 4.2) and processes
+whatever queries the router sends it, with fair-share interference when
+several run concurrently (:mod:`~repro.mppdb.execution`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from ..errors import InstanceNotReadyError, MPPDBError, TenantNotHostedError
+from ..simulation.engine import Simulator
+from .catalog import Catalog, TenantData
+from .execution import ExecutionEngine, QueryExecution
+
+__all__ = ["InstanceState", "MPPDBInstance"]
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle of an instance."""
+
+    PROVISIONING = "provisioning"
+    READY = "ready"
+    RETIRED = "retired"
+
+
+class MPPDBInstance:
+    """One simulated MPPDB.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name, e.g. ``"tg3/mppdb1"``.
+    parallelism:
+        Number of nodes (degree of parallelism) of this instance.
+    simulator:
+        The simulation engine queries run on.
+    node_ids:
+        Optional ids of the machine nodes backing the instance (provided by
+        the provisioning layer when a :class:`~repro.cluster.pool.MachinePool`
+        is in play; pure-algorithm uses may omit them).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parallelism: int,
+        simulator: Simulator,
+        node_ids: Optional[Sequence[int]] = None,
+        speed_factor: float = 1.0,
+    ) -> None:
+        if parallelism < 1:
+            raise MPPDBError(f"parallelism must be >= 1, got {parallelism!r}")
+        if node_ids is not None and len(node_ids) != parallelism:
+            raise MPPDBError(
+                f"instance {name!r}: {len(node_ids)} nodes supplied for parallelism {parallelism}"
+            )
+        if speed_factor <= 0:
+            raise MPPDBError(f"speed_factor must be positive, got {speed_factor!r}")
+        self.name = name
+        self.parallelism = int(parallelism)
+        #: Hardware-class speedup relative to the baseline node (future-work
+        #: heterogeneous clusters): callers divide dedicated work by this.
+        self.speed_factor = float(speed_factor)
+        self.node_ids: tuple[int, ...] = tuple(node_ids) if node_ids is not None else ()
+        self.catalog = Catalog()
+        self.engine = ExecutionEngine(simulator)
+        self._state = InstanceState.PROVISIONING
+        self._ready_time: Optional[float] = None
+        self._sim = simulator
+
+    @property
+    def state(self) -> InstanceState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def ready_time(self) -> Optional[float]:
+        """Simulated time the instance became ready, if it has."""
+        return self._ready_time
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether the instance accepts queries."""
+        return self._state == InstanceState.READY
+
+    @property
+    def is_free(self) -> bool:
+        """Algorithm 1's notion of *free*: ready and serving no query."""
+        return self.is_ready and not self.engine.busy
+
+    @property
+    def active_tenants(self) -> set[int]:
+        """Tenants with queries currently running on this instance."""
+        return self.engine.active_tenants
+
+    def mark_ready(self) -> None:
+        """Transition to READY (called by the provisioning layer)."""
+        if self._state != InstanceState.PROVISIONING:
+            raise MPPDBError(f"instance {self.name!r} cannot become ready from {self._state.value}")
+        self._state = InstanceState.READY
+        self._ready_time = self._sim.now
+
+    def retire(self) -> None:
+        """Stop accepting queries; running ones are allowed to drain."""
+        if self._state == InstanceState.RETIRED:
+            raise MPPDBError(f"instance {self.name!r} is already retired")
+        self._state = InstanceState.RETIRED
+
+    def deploy_tenant(self, tenant: TenantData) -> None:
+        """Add a tenant's data to the catalog (placement step)."""
+        if self._state == InstanceState.RETIRED:
+            raise MPPDBError(f"instance {self.name!r} is retired")
+        self.catalog.add(tenant)
+
+    def hosts(self, tenant_id: int) -> bool:
+        """Whether the tenant's data is deployed here."""
+        return tenant_id in self.catalog
+
+    def submit_query(self, tenant_id: int, work_s: float, label: str = "") -> QueryExecution:
+        """Run a query for a hosted tenant.
+
+        ``work_s`` is the dedicated (isolation) latency of the query on
+        *this* instance's parallelism — callers compute it from the query's
+        scale-out curve.  Raises if the instance is not ready or the tenant
+        is not hosted.
+        """
+        if not self.is_ready:
+            raise InstanceNotReadyError(
+                f"instance {self.name!r} is {self._state.value}, cannot accept queries"
+            )
+        if tenant_id not in self.catalog:
+            raise TenantNotHostedError(
+                f"tenant {tenant_id} has no data on instance {self.name!r}"
+            )
+        return self.engine.submit(tenant_id, work_s, label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MPPDBInstance(name={self.name!r}, nodes={self.parallelism}, "
+            f"state={self._state.value}, tenants={len(self.catalog)})"
+        )

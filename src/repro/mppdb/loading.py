@@ -1,0 +1,110 @@
+"""Instance startup and bulk-load time model, calibrated to Table 5.1.
+
+The paper measures (Table 5.1) that starting the machines plus initializing
+the MPPDB grows roughly linearly with the node count, and that bulk loading
+proceeds at about 1.2 GB/min *independently of the node count* when the
+product's parallel-loading option is enabled (the source feed, not the
+cluster, is the bottleneck).  Loading dominates: preparing a 10-node / 1 TB
+MPPDB takes about 14.5 hours — the number that motivates the *lightweight*
+elastic scaling of Chapter 5.1.
+
+:class:`LoadTimeModel` is a least-squares fit of the startup line through
+the table's five measurements plus the observed aggregate load rate;
+``bench_table5_1_loading.py`` prints model-vs-paper values side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MPPDBError
+
+__all__ = ["PAPER_LOAD_TABLE", "LoadTimeModel"]
+
+#: Table 5.1 rows: nodes -> (data_gb, startup_and_init_s, bulk_load_s).
+PAPER_LOAD_TABLE: dict[int, tuple[float, float, float]] = {
+    2: (200.0, 462.0, 10172.0),
+    4: (400.0, 850.0, 20302.0),
+    6: (600.0, 1248.0, 30121.0),
+    8: (800.0, 1504.0, 40853.0),
+    10: (1024.0, 1779.0, 50446.0),
+}
+
+
+def _fit_startup_line() -> tuple[float, float]:
+    """Least-squares ``startup = intercept + slope * nodes`` over Table 5.1."""
+    xs = list(PAPER_LOAD_TABLE)
+    ys = [PAPER_LOAD_TABLE[n][1] for n in xs]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    return intercept, slope
+
+
+def _fit_load_rate() -> float:
+    """Average aggregate load rate (GB/s) over Table 5.1."""
+    rates = [data_gb / load_s for data_gb, _, load_s in PAPER_LOAD_TABLE.values()]
+    return sum(rates) / len(rates)
+
+
+_STARTUP_INTERCEPT, _STARTUP_SLOPE = _fit_startup_line()
+_PARALLEL_LOAD_RATE_GB_S = _fit_load_rate()
+
+
+@dataclass(frozen=True)
+class LoadTimeModel:
+    """Time model for preparing an MPPDB instance.
+
+    Parameters
+    ----------
+    startup_intercept_s / startup_slope_s:
+        Startup + initialization time is
+        ``startup_intercept_s + startup_slope_s * nodes``.
+    parallel_load_rate_gb_s:
+        Aggregate bulk-load rate with parallel loading enabled (~1.2 GB/min,
+        node-count independent — the source feed is the bottleneck).
+    serial_load_rate_gb_s:
+        Aggregate rate with parallel loading disabled (a single loader
+        stream; assumption documented in DESIGN.md).
+    parallel_loading:
+        Whether the product's parallel-loading option is enabled (§7.2
+        enables it; the elastic-scaling footnote in Ch. 5.1 does too).
+    """
+
+    startup_intercept_s: float = _STARTUP_INTERCEPT
+    startup_slope_s: float = _STARTUP_SLOPE
+    parallel_load_rate_gb_s: float = _PARALLEL_LOAD_RATE_GB_S
+    serial_load_rate_gb_s: float = _PARALLEL_LOAD_RATE_GB_S / 4.0
+    parallel_loading: bool = True
+
+    def __post_init__(self) -> None:
+        if self.startup_slope_s <= 0:
+            raise MPPDBError("startup_slope_s must be positive")
+        if self.parallel_load_rate_gb_s <= 0 or self.serial_load_rate_gb_s <= 0:
+            raise MPPDBError("load rates must be positive")
+
+    def startup_seconds(self, nodes: int) -> float:
+        """Node starting + MPPDB initialization time for an ``nodes``-node instance."""
+        if nodes < 1:
+            raise MPPDBError(f"node count must be >= 1, got {nodes!r}")
+        return self.startup_intercept_s + self.startup_slope_s * nodes
+
+    def load_rate_gb_s(self) -> float:
+        """Effective aggregate bulk-load rate in GB/s."""
+        if self.parallel_loading:
+            return self.parallel_load_rate_gb_s
+        return self.serial_load_rate_gb_s
+
+    def bulk_load_seconds(self, data_gb: float) -> float:
+        """Time to bulk load ``data_gb`` gigabytes of tenant data."""
+        if data_gb < 0:
+            raise MPPDBError(f"data size must be non-negative, got {data_gb!r}")
+        return data_gb / self.load_rate_gb_s()
+
+    def provision_seconds(self, nodes: int, data_gb: float) -> float:
+        """Total time until an instance is ready: startup + bulk load."""
+        return self.startup_seconds(nodes) + self.bulk_load_seconds(data_gb)

@@ -1,0 +1,104 @@
+"""Scale-out curves for parallel query execution.
+
+A curve maps a query's single-node latency to its latency on an ``n``-node
+MPPDB.  The paper distinguishes *linear scale-out* queries (TPC-H Q1,
+Figure 1.1a — speedup proportional to nodes) from *non-linear* ones (TPC-H
+Q19, Figure 1.1c — speedup flattens), and the distinction matters because
+the second consolidation opportunity (serving a tenant on a bigger-than-
+requested MPPDB) only fully compensates concurrency for linear queries
+(requirement R4).
+
+All curves require latency to be non-increasing in ``n`` and to equal the
+single-node latency at ``n = 1``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import MPPDBError
+
+__all__ = [
+    "ScaleOutCurve",
+    "LinearScaleOut",
+    "AmdahlScaleOut",
+    "SublinearScaleOut",
+]
+
+
+def _check(base_latency_s: float, nodes: int) -> None:
+    if base_latency_s < 0:
+        raise MPPDBError(f"base latency must be non-negative, got {base_latency_s!r}")
+    if nodes < 1:
+        raise MPPDBError(f"node count must be >= 1, got {nodes!r}")
+
+
+class ScaleOutCurve(abc.ABC):
+    """Strategy mapping single-node latency to ``n``-node latency."""
+
+    @abc.abstractmethod
+    def latency(self, base_latency_s: float, nodes: int) -> float:
+        """Latency on ``nodes`` nodes of a query taking ``base_latency_s`` on one."""
+
+    def speedup(self, nodes: int) -> float:
+        """Speedup relative to a single node (``>= 1``)."""
+        one = self.latency(1.0, 1)
+        many = self.latency(1.0, nodes)
+        if many <= 0:
+            raise MPPDBError(f"curve produced non-positive latency at n={nodes}")
+        return one / many
+
+
+@dataclass(frozen=True)
+class LinearScaleOut(ScaleOutCurve):
+    """Perfect linear scale-out: ``latency(n) = latency(1) / n``.
+
+    Matches TPC-H Q1 in the paper's setting ("Q1 scales out linearly with
+    the number of nodes", §1.1).
+    """
+
+    def latency(self, base_latency_s: float, nodes: int) -> float:
+        _check(base_latency_s, nodes)
+        return base_latency_s / nodes
+
+
+@dataclass(frozen=True)
+class AmdahlScaleOut(ScaleOutCurve):
+    """Amdahl's-law scale-out with a serial fraction.
+
+    ``latency(n) = latency(1) * (serial + (1 - serial) / n)``.  With
+    ``serial ~ 0.2`` this reproduces the flattening speedup of TPC-H Q19 in
+    Figure 1.1c.
+    """
+
+    serial_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.serial_fraction <= 1):
+            raise MPPDBError(
+                f"serial_fraction must be in [0, 1], got {self.serial_fraction!r}"
+            )
+
+    def latency(self, base_latency_s: float, nodes: int) -> float:
+        _check(base_latency_s, nodes)
+        return base_latency_s * (self.serial_fraction + (1 - self.serial_fraction) / nodes)
+
+
+@dataclass(frozen=True)
+class SublinearScaleOut(ScaleOutCurve):
+    """Power-law scale-out: ``latency(n) = latency(1) / n**alpha``.
+
+    ``alpha = 1`` is linear, ``alpha = 0`` no scale-out; intermediate values
+    model repartitioning-heavy queries whose speedup grows but sub-linearly.
+    """
+
+    alpha: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.alpha <= 1):
+            raise MPPDBError(f"alpha must be in [0, 1], got {self.alpha!r}")
+
+    def latency(self, base_latency_s: float, nodes: int) -> float:
+        _check(base_latency_s, nodes)
+        return base_latency_s / (nodes ** self.alpha)

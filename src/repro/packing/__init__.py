@@ -1,0 +1,50 @@
+"""Tenant grouping: the LIVBPwFC optimization layer (Chapter 5, Appendix 9.1).
+
+Grouping T tenants into tenant-groups is a **Largest Item Vector Bin
+Packing Problem with Fuzzy Capacity**: each tenant (item) is a tuple
+``(activity vector, nodes requested)``; a tenant-group (bin) is *not full*
+as long as at least ``P%`` of epochs have at most ``R`` concurrently active
+tenants; the cost of a bin is ``R * max(nodes requested)`` — TDD builds
+``A = R`` MPPDBs sized to the largest tenant — and the objective is the
+total cost.
+
+Solvers, mirroring the paper's comparison:
+
+* :mod:`~repro.packing.two_step` — the paper's 2-step heuristic
+  (Algorithm 2): homogeneous initial groups, then greedy insertion
+  minimizing the concurrency-histogram increase, highest level first.
+* :mod:`~repro.packing.ffd` — the First-Fit-Decreasing baseline [18].
+* :mod:`~repro.packing.minlp` + :mod:`~repro.packing.direct` — the MINLP
+  formulation of Appendix 9.1 solved with a from-scratch DIRECT global
+  optimizer (tiny instances only, as in the paper).
+* :mod:`~repro.packing.exact` — exact branch-and-bound optimum for tiny
+  instances (optimality-gap reference).
+"""
+
+from .exact import exact_grouping
+from .ffd import ffd_grouping
+from .livbp import (
+    GroupingSolution,
+    LIVBPwFCProblem,
+    TenantGroup,
+    group_concurrency,
+    group_ttp,
+)
+from .minlp import MINLPFormulation
+from .direct import DirectOptimizer, DirectResult, solve_livbp_with_direct
+from .two_step import two_step_grouping
+
+__all__ = [
+    "GroupingSolution",
+    "LIVBPwFCProblem",
+    "TenantGroup",
+    "group_concurrency",
+    "group_ttp",
+    "two_step_grouping",
+    "ffd_grouping",
+    "exact_grouping",
+    "MINLPFormulation",
+    "DirectOptimizer",
+    "DirectResult",
+    "solve_livbp_with_direct",
+]

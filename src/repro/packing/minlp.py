@@ -1,0 +1,133 @@
+"""The MINLP formulation of LIVBPwFC (Appendix 9.1).
+
+Minimize      sum_{j=1}^{ceil(T/R)}  max_i ( R * n_i * x_ij )
+subject to    sum_{k=1}^{d} H[ R - sum_i A_i[k] * x_ij ]  >=  P% * d   (forall j)
+              sum_j x_ij = 1                                          (forall i)
+              x_ij in {0, 1}
+
+where ``H`` is the discretized Heaviside step function.  The formulation
+has non-linear constraints and many local minima, so only general-purpose
+global optimizers apply (the paper uses DIRECT [14] and reports ~12 days
+for 20 tenants).  This module exposes the exact objective/constraint
+evaluation plus a penalized scalarization consumable by any box-constrained
+optimizer (:mod:`~repro.packing.direct` supplies one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PackingError
+from .livbp import GroupingSolution, LIVBPwFCProblem
+
+__all__ = ["MINLPFormulation"]
+
+
+@dataclass(frozen=True)
+class MINLPEvaluation:
+    """Result of evaluating one assignment."""
+
+    objective: float
+    feasible: bool
+    short_epochs: int
+
+
+class MINLPFormulation:
+    """Evaluation oracle for the Appendix 9.1 program."""
+
+    def __init__(self, problem: LIVBPwFCProblem, penalty_per_epoch: float = 1000.0) -> None:
+        if penalty_per_epoch <= 0:
+            raise PackingError("penalty_per_epoch must be positive")
+        self.problem = problem
+        self.penalty_per_epoch = float(penalty_per_epoch)
+        self.num_tenants = len(problem.items)
+        #: J = ceil(T / R) — each group supports R concurrently active
+        #: tenants, so no more groups are ever needed (Appendix 9.1).
+        self.num_groups = max(1, math.ceil(self.num_tenants / problem.replication_factor))
+        self._nodes = np.array([item.nodes_requested for item in problem.items], dtype=np.int64)
+
+    def _check_assignment(self, assignment: Sequence[int]) -> np.ndarray:
+        arr = np.asarray(assignment, dtype=np.int64)
+        if arr.shape != (self.num_tenants,):
+            raise PackingError(
+                f"assignment must have length T={self.num_tenants}, got shape {arr.shape}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.num_groups):
+            raise PackingError(
+                f"group indices must be in [0, {self.num_groups}), "
+                f"got range [{arr.min()}, {arr.max()}]"
+            )
+        return arr
+
+    def objective(self, assignment: Sequence[int]) -> int:
+        """Equation 9.1: total of ``R * max n_i`` over non-empty groups."""
+        arr = self._check_assignment(assignment)
+        total = 0
+        for j in np.unique(arr):
+            members = self._nodes[arr == j]
+            total += self.problem.replication_factor * int(members.max())
+        return total
+
+    def constraint_short_epochs(self, assignment: Sequence[int]) -> int:
+        """Total shortfall of equation 9.2 across groups.
+
+        For each group, the number of epochs *missing* from the required
+        ``P% * d`` epochs with at most ``R`` active tenants; zero iff the
+        assignment is feasible.
+        """
+        arr = self._check_assignment(assignment)
+        problem = self.problem
+        d = problem.num_epochs
+        required = problem.sla_fraction * d
+        shortfall = 0
+        for j in np.unique(arr):
+            counts = np.zeros(d, dtype=np.int32)
+            for i in np.nonzero(arr == j)[0]:
+                counts[problem.items[int(i)].epochs] += 1
+            ok_epochs = int(np.count_nonzero(counts <= problem.replication_factor))
+            shortfall += max(0, math.ceil(required - 1e-9) - ok_epochs)
+        return shortfall
+
+    def evaluate(self, assignment: Sequence[int]) -> MINLPEvaluation:
+        """Objective and feasibility of one assignment."""
+        short = self.constraint_short_epochs(assignment)
+        return MINLPEvaluation(
+            objective=float(self.objective(assignment)),
+            feasible=short == 0,
+            short_epochs=short,
+        )
+
+    def penalized(self, assignment: Sequence[int]) -> float:
+        """Scalarized value: objective + penalty * shortfall (for optimizers)."""
+        evaluation = self.evaluate(assignment)
+        return evaluation.objective + self.penalty_per_epoch * evaluation.short_epochs
+
+    def decode(self, point: Sequence[float]) -> np.ndarray:
+        """Random-key decoding: map ``[0,1]^T`` to a group assignment."""
+        arr = np.asarray(point, dtype=np.float64)
+        if arr.shape != (self.num_tenants,):
+            raise PackingError(
+                f"point must have length T={self.num_tenants}, got shape {arr.shape}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise PackingError("points must lie in the unit box")
+        decoded = np.minimum((arr * self.num_groups).astype(np.int64), self.num_groups - 1)
+        return decoded
+
+    def continuous_objective(self, point: Sequence[float]) -> float:
+        """Penalized value of the decoded point (the DIRECT target)."""
+        return self.penalized(self.decode(point))
+
+    def solution_from_assignment(self, assignment: Sequence[int], solver: str, solve_seconds: float) -> GroupingSolution:
+        """Materialize a :class:`GroupingSolution` from a feasible assignment."""
+        arr = self._check_assignment(assignment)
+        groups: list[list[int]] = []
+        for j in np.unique(arr):
+            groups.append(
+                [self.problem.items[int(i)].tenant_id for i in np.nonzero(arr == j)[0]]
+            )
+        return GroupingSolution(self.problem, groups, solver=solver, solve_seconds=solve_seconds)

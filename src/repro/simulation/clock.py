@@ -1,0 +1,36 @@
+"""A monotonic simulation clock.
+
+The clock only ever moves forward; attempting to rewind raises
+:class:`~repro.errors.SimulationError`.  Keeping the clock as its own object
+(rather than a float on the engine) lets model components hold a reference
+to it without also being able to advance time.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """Monotonically non-decreasing simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t`` (no-op when already there)."""
+        if t < self._now:
+            raise SimulationError(f"time cannot move backwards: {t!r} < {self._now!r}")
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"

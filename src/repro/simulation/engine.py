@@ -1,0 +1,123 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock and the event queue, and exposes the
+standard run loop: schedule callbacks at absolute times or after delays,
+then :meth:`Simulator.run` until the queue drains (or until a time bound or
+an event budget is hit).  Callbacks may schedule further events; scheduling
+in the past raises.
+
+The MPPDB execution model additionally needs to *reschedule* in-flight
+events (a query's completion moves when the concurrency level changes), so
+:meth:`Simulator.schedule` returns a cancellable handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import SimulationError
+from .clock import Clock
+from .events import Event, EventCallback, EventQueue, ScheduledEvent
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = Clock(start_time)
+        self._queue = EventQueue()
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        time: float,
+        callback: EventCallback,
+        label: str = "",
+        payload: Any = None,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Returns a handle that can be passed to :meth:`cancel`.
+        """
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is before the current time {self.clock.now!r}"
+            )
+        return self._queue.push(Event(time=time, callback=callback, label=label, payload=payload))
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: EventCallback,
+        label: str = "",
+        payload: Any = None,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self.clock.now + delay, callback, label=label, payload=payload)
+
+    def cancel(self, handle: ScheduledEvent) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self._queue.cancel(handle)
+
+    def step(self) -> Optional[Event]:
+        """Fire the single next event; return it, or ``None`` when idle."""
+        next_time = self._queue.peek_time()
+        if next_time is None:
+            return None
+        event = self._queue.pop()
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.callback(event.time)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired in this call.  Returns the number of events
+        fired by this call.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        after the last earlier event, so time-based metrics close cleanly.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from inside an event callback")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and until >= self.clock.now:
+            self.clock.advance_to(until)
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.clock.now}, pending={self.pending})"

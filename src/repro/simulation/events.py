@@ -1,0 +1,106 @@
+"""Event primitives for the discrete-event engine.
+
+Events carry a fire time, an insertion-order sequence number (ties are
+broken FIFO so the simulation is deterministic), a callback, and an optional
+payload.  :class:`EventQueue` is a thin heap wrapper that supports lazy
+cancellation, which the MPPDB simulator uses to reschedule query-completion
+events when the concurrency level on an instance changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "ScheduledEvent", "EventQueue"]
+
+#: Signature of an event callback: receives the firing time.
+EventCallback = Callable[[float], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable description of something to happen at a point in time."""
+
+    time: float
+    callback: EventCallback
+    label: str = ""
+    payload: Any = None
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A queue entry: an :class:`Event` plus ordering and cancellation state."""
+
+    time: float
+    sequence: int
+    event: Event = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the entry dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of events.
+
+    Ordering is by ``(time, insertion order)`` so simultaneous events fire
+    in the order they were scheduled.  Cancellation is lazy: cancelled
+    entries stay in the heap until popped, then get skipped.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> ScheduledEvent:
+        """Schedule ``event`` and return a handle usable for cancellation."""
+        if event.time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {event.time!r}")
+        entry = ScheduledEvent(time=event.time, sequence=next(self._counter), event=event)
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: ScheduledEvent) -> None:
+        """Cancel a previously pushed entry (idempotent)."""
+        if not entry.cancelled:
+            entry.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Fire time of the next live event, or ``None`` when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._discard_cancelled()
+        if not self._heap:
+            raise SimulationError("pop() from an empty event queue")
+        entry = heapq.heappop(self._heap)
+        self._live -= 1
+        return entry.event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,183 @@
+"""Time-series metric collection.
+
+Two container flavours:
+
+* :class:`TimeSeries` — irregular samples ``(t, value)`` with summary
+  statistics; used for per-query normalized latency (Figure 7.7b/d).
+* :class:`StepSeries` — a piecewise-constant signal changed at known times;
+  used for concurrency levels and RT-TTP curves, where *time-weighted*
+  aggregates (fraction of time above a threshold, time-average) are the
+  meaningful statistics.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Iterator
+
+from ..errors import SimulationError
+
+__all__ = ["TimeSeries", "StepSeries"]
+
+
+class TimeSeries:
+    """Irregularly sampled ``(time, value)`` series with order enforcement."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def add(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise SimulationError(
+                f"samples must be time-ordered: {time!r} < last {self._times[-1]!r}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> list[float]:
+        """Sample times (copy)."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        """Sample values (copy)."""
+        return list(self._values)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sample values."""
+        if not self._values:
+            raise SimulationError("mean() of an empty series")
+        return sum(self._values) / len(self._values)
+
+    def max(self) -> float:
+        """Maximum sample value."""
+        if not self._values:
+            raise SimulationError("max() of an empty series")
+        return max(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100] of the sample values."""
+        if not self._values:
+            raise SimulationError("percentile() of an empty series")
+        if not (0 <= q <= 100):
+            raise SimulationError(f"percentile must be in [0, 100], got {q!r}")
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``."""
+        if not self._values:
+            raise SimulationError("fraction_above() of an empty series")
+        return sum(1 for v in self._values if v > threshold) / len(self._values)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= time < end`` as a new series."""
+        out = TimeSeries()
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for i in range(lo, hi):
+            out.add(self._times[i], self._values[i])
+        return out
+
+
+class StepSeries:
+    """A piecewise-constant signal; value changes take effect at set times."""
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self._times: list[float] = [float(start_time)]
+        self._values: list[float] = [float(initial)]
+
+    def set(self, time: float, value: float) -> None:
+        """Change the signal value at ``time`` (non-decreasing times)."""
+        if time < self._times[-1]:
+            raise SimulationError(
+                f"changes must be time-ordered: {time!r} < last {self._times[-1]!r}"
+            )
+        if time == self._times[-1]:
+            # Same-instant update overrides the previous change.
+            self._values[-1] = float(value)
+            return
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def increment(self, time: float, delta: float = 1.0) -> None:
+        """Step the current value by ``delta`` at ``time``."""
+        self.set(time, self.value_at_end() + delta)
+
+    def value_at_end(self) -> float:
+        """The most recent value."""
+        return self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Signal value at ``time`` (before the first change: the initial value)."""
+        if time < self._times[0]:
+            raise SimulationError(f"time {time!r} precedes the series start {self._times[0]!r}")
+        idx = bisect.bisect_right(self._times, time) - 1
+        return self._values[idx]
+
+    def changes(self) -> Iterable[tuple[float, float]]:
+        """Iterate the ``(time, value)`` change points."""
+        return zip(self._times, self._values)
+
+    def time_weighted_mean(self, start: float, end: float) -> float:
+        """Time-average of the signal over ``[start, end)``."""
+        return self._integrate(start, end, lambda v: v) / self._length(start, end)
+
+    def fraction_time_above(self, threshold: float, start: float, end: float) -> float:
+        """Fraction of ``[start, end)`` the signal spends strictly above ``threshold``."""
+        above = self._integrate(start, end, lambda v: 1.0 if v > threshold else 0.0)
+        return above / self._length(start, end)
+
+    def fraction_time_at_most(self, threshold: float, start: float, end: float) -> float:
+        """Fraction of ``[start, end)`` with the signal ``<= threshold``.
+
+        This is exactly the run-time TTP of Chapter 5.1 when the signal is a
+        tenant group's concurrent-active-tenant count and ``threshold = R``.
+        """
+        return 1.0 - self.fraction_time_above(threshold, start, end)
+
+    def max_over(self, start: float, end: float) -> float:
+        """Maximum signal value attained over ``[start, end)``."""
+        if end <= start:
+            raise SimulationError(f"empty window [{start!r}, {end!r})")
+        lo = bisect.bisect_right(self._times, start) - 1
+        hi = bisect.bisect_left(self._times, end)
+        lo = max(lo, 0)
+        return max(self._values[lo:hi] or [self._values[lo]])
+
+    def _length(self, start: float, end: float) -> float:
+        if end <= start:
+            raise SimulationError(f"empty window [{start!r}, {end!r})")
+        return end - start
+
+    def _integrate(self, start: float, end: float, f) -> float:
+        if end <= start:
+            raise SimulationError(f"empty window [{start!r}, {end!r})")
+        total = 0.0
+        times = self._times
+        values = self._values
+        idx = max(bisect.bisect_right(times, start) - 1, 0)
+        t = start
+        while t < end:
+            seg_end = times[idx + 1] if idx + 1 < len(times) else end
+            seg_end = min(seg_end, end)
+            if seg_end > t:
+                total += f(values[idx]) * (seg_end - t)
+            t = seg_end
+            idx += 1
+            if idx >= len(times):
+                break
+        if t < end:
+            total += f(values[-1]) * (end - t)
+        return total

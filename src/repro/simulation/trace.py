@@ -1,0 +1,62 @@
+"""Structured trace recording for simulations.
+
+A :class:`TraceRecorder` is an append-only log of ``(time, kind, details)``
+entries.  The Thrifty runtime uses it to record routing decisions, SLA
+violations and scaling actions, and the Figure 7.7 benchmark replays a
+recorded trace into a printable excerpt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["TraceEntry", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One trace record."""
+
+    time: float
+    kind: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time:12.2f}] {self.kind:<24} {rendered}".rstrip()
+
+
+class TraceRecorder:
+    """Append-only, filterable event trace."""
+
+    def __init__(self) -> None:
+        self._entries: list[TraceEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def record(self, time: float, kind: str, **details: Any) -> TraceEntry:
+        """Append an entry and return it."""
+        entry = TraceEntry(time=time, kind=kind, details=dict(details))
+        self._entries.append(entry)
+        return entry
+
+    def of_kind(self, kind: str) -> list[TraceEntry]:
+        """All entries of the given kind, in time order."""
+        return [e for e in self._entries if e.kind == kind]
+
+    def between(self, start: float, end: float) -> list[TraceEntry]:
+        """All entries with ``start <= time < end``."""
+        return [e for e in self._entries if start <= e.time < end]
+
+    def kinds(self) -> set[str]:
+        """The set of kinds recorded so far."""
+        return {e.kind for e in self._entries}
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()

@@ -1,0 +1,152 @@
+"""Unit helpers: data sizes, durations, and epoch arithmetic.
+
+The paper mixes several unit systems — gigabytes and terabytes of tenant
+data, seconds of query latency, and fixed-width *epochs* used by the
+tenant-grouping algorithm (Chapter 5).  Centralizing the conversions here
+keeps the rest of the code free of magic constants.
+
+All public functions validate their inputs and raise
+:class:`~repro.errors.ConfigurationError` on nonsense values, because unit
+bugs (seconds vs epochs) are the classic failure mode of this kind of
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "GB",
+    "TB",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "gb",
+    "tb",
+    "minutes",
+    "hours",
+    "days",
+    "seconds_to_epoch",
+    "epoch_to_seconds",
+    "epoch_span",
+    "num_epochs",
+    "format_duration",
+    "format_size_gb",
+]
+
+#: One gigabyte expressed in gigabytes (the library's canonical data unit).
+GB = 1.0
+#: One terabyte in gigabytes.
+TB = 1024.0
+
+#: Durations, in seconds (the library's canonical time unit).
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+
+def gb(value: float) -> float:
+    """Return ``value`` gigabytes in canonical data units (GB)."""
+    return float(value) * GB
+
+
+def tb(value: float) -> float:
+    """Return ``value`` terabytes in canonical data units (GB)."""
+    return float(value) * TB
+
+
+def minutes(value: float) -> float:
+    """Return ``value`` minutes in seconds."""
+    return float(value) * MINUTE
+
+
+def hours(value: float) -> float:
+    """Return ``value`` hours in seconds."""
+    return float(value) * HOUR
+
+
+def days(value: float) -> float:
+    """Return ``value`` days in seconds."""
+    return float(value) * DAY
+
+
+def _check_epoch_size(epoch_size: float) -> None:
+    if not (epoch_size > 0) or not math.isfinite(epoch_size):
+        raise ConfigurationError(f"epoch size must be a positive finite number of seconds, got {epoch_size!r}")
+
+
+def seconds_to_epoch(t: float, epoch_size: float) -> int:
+    """Map a timestamp ``t`` (seconds) to its epoch index.
+
+    Epochs are half-open intervals ``[k * epoch_size, (k + 1) * epoch_size)``
+    so a query ending exactly on an epoch boundary does not occupy the next
+    epoch.
+    """
+    _check_epoch_size(epoch_size)
+    if t < 0:
+        raise ConfigurationError(f"timestamps must be non-negative, got {t!r}")
+    return int(t // epoch_size)
+
+
+def epoch_to_seconds(k: int, epoch_size: float) -> float:
+    """Return the start timestamp (seconds) of epoch ``k``."""
+    _check_epoch_size(epoch_size)
+    if k < 0:
+        raise ConfigurationError(f"epoch indices must be non-negative, got {k!r}")
+    return k * epoch_size
+
+
+def epoch_span(start: float, end: float, epoch_size: float) -> range:
+    """Return the range of epoch indices a time interval ``[start, end)`` touches.
+
+    A zero-length interval touches exactly the epoch containing ``start``;
+    this matches the paper's strong notion of activity, where an
+    instantaneous query still marks its tenant active for that epoch.
+    """
+    _check_epoch_size(epoch_size)
+    if end < start:
+        raise ConfigurationError(f"interval end ({end!r}) precedes start ({start!r})")
+    first = seconds_to_epoch(start, epoch_size)
+    if end == start:
+        return range(first, first + 1)
+    # Half-open on the right: an interval ending exactly on a boundary does
+    # not touch the following epoch.
+    last = int(math.ceil(end / epoch_size))
+    return range(first, max(last, first + 1))
+
+
+def num_epochs(horizon: float, epoch_size: float) -> int:
+    """Number of epochs needed to cover ``horizon`` seconds of history."""
+    _check_epoch_size(epoch_size)
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon!r}")
+    return int(math.ceil(horizon / epoch_size))
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable rendering of a duration, e.g. ``'2h 05m'`` or ``'45s'``."""
+    if seconds < 0:
+        raise ConfigurationError(f"durations must be non-negative, got {seconds!r}")
+    if seconds < MINUTE:
+        return f"{seconds:.0f}s"
+    if seconds < HOUR:
+        whole_minutes, rem = divmod(seconds, MINUTE)
+        return f"{whole_minutes:.0f}m {rem:02.0f}s"
+    if seconds < DAY:
+        whole_hours, rem = divmod(seconds, HOUR)
+        return f"{whole_hours:.0f}h {rem / MINUTE:02.0f}m"
+    whole_days, rem = divmod(seconds, DAY)
+    return f"{whole_days:.0f}d {rem / HOUR:02.0f}h"
+
+
+def format_size_gb(size_gb: float) -> str:
+    """Human-readable rendering of a data size given in GB."""
+    if size_gb < 0:
+        raise ConfigurationError(f"data sizes must be non-negative, got {size_gb!r}")
+    if size_gb >= TB:
+        return f"{size_gb / TB:.1f}TB"
+    return f"{size_gb:.0f}GB"

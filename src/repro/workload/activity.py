@@ -1,0 +1,164 @@
+"""Epoch discretization of tenant activity.
+
+The tenant-grouping algorithms of Chapter 5 represent each tenant's
+activity as a vector over ``d`` fixed-width time epochs: ``a_k = 1`` iff
+the tenant has a query running during epoch ``k`` (the strong notion of
+activity from §4.3).  Because activity is sparse (~10 % of epochs), this
+module stores per-tenant *sorted active-epoch index arrays* instead of
+dense 0/1 vectors; :class:`ActivityMatrix` bundles them with the epoch
+count ``d`` and the tenants' node requests — exactly the input of the
+LIVBPwFC problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .composer import ComposedWorkload
+
+__all__ = [
+    "active_epoch_indices",
+    "ActivityItem",
+    "ActivityMatrix",
+    "active_tenant_ratio",
+    "concurrency_profile",
+]
+
+
+def active_epoch_indices(
+    intervals: Iterable[tuple[float, float]], epoch_size: float
+) -> np.ndarray:
+    """Sorted unique epoch indices touched by the given busy intervals.
+
+    Epochs are half-open ``[k*E, (k+1)*E)``; an interval ending exactly on a
+    boundary does not touch the next epoch, while a zero-length interval
+    still marks the epoch containing its instant.
+    """
+    if epoch_size <= 0:
+        raise WorkloadError(f"epoch size must be positive, got {epoch_size!r}")
+    chunks: list[np.ndarray] = []
+    for start, end in intervals:
+        if end < start:
+            raise WorkloadError(f"interval end {end!r} precedes start {start!r}")
+        if start < 0:
+            raise WorkloadError(f"intervals must be non-negative, got start {start!r}")
+        first = int(start // epoch_size)
+        last = int(np.ceil(end / epoch_size)) if end > start else first + 1
+        chunks.append(np.arange(first, max(last, first + 1), dtype=np.int64))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))
+
+
+@dataclass(frozen=True)
+class ActivityItem:
+    """One LIVBPwFC item: a tenant's node request and active epochs."""
+
+    tenant_id: int
+    nodes_requested: int
+    epochs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.nodes_requested < 1:
+            raise WorkloadError("nodes_requested must be >= 1")
+        epochs = np.asarray(self.epochs, dtype=np.int64)
+        if epochs.ndim != 1:
+            raise WorkloadError("epochs must be a 1-d array")
+        if epochs.size and (np.any(np.diff(epochs) <= 0) or epochs[0] < 0):
+            raise WorkloadError("epochs must be sorted, unique and non-negative")
+        object.__setattr__(self, "epochs", epochs)
+
+    @property
+    def active_epoch_count(self) -> int:
+        """Number of epochs the tenant is active in."""
+        return int(self.epochs.size)
+
+
+class ActivityMatrix:
+    """All tenants' activity at one epoch size (the grouping input)."""
+
+    def __init__(self, items: Sequence[ActivityItem], num_epochs: int) -> None:
+        if num_epochs < 1:
+            raise WorkloadError("num_epochs must be >= 1")
+        ids = [item.tenant_id for item in items]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError("tenant ids must be unique")
+        for item in items:
+            if item.epochs.size and item.epochs[-1] >= num_epochs:
+                raise WorkloadError(
+                    f"tenant {item.tenant_id} has epochs beyond d={num_epochs}"
+                )
+        self.items: tuple[ActivityItem, ...] = tuple(items)
+        self.num_epochs = int(num_epochs)
+        self._by_id = {item.tenant_id: item for item in self.items}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def item(self, tenant_id: int) -> ActivityItem:
+        """Look up one tenant's item."""
+        try:
+            return self._by_id[tenant_id]
+        except KeyError:
+            raise WorkloadError(f"unknown tenant {tenant_id!r}") from None
+
+    @classmethod
+    def from_workload(
+        cls, workload: "ComposedWorkload", epoch_size: float
+    ) -> "ActivityMatrix":
+        """Discretize a composed workload at the given epoch size."""
+        d = workload.num_epochs(epoch_size)
+        items = [
+            ActivityItem(
+                tenant_id=tenant.tenant_id,
+                nodes_requested=tenant.nodes_requested,
+                epochs=workload.activity_epochs(tenant.tenant_id, epoch_size),
+            )
+            for tenant in workload.tenants
+        ]
+        return cls(items, d)
+
+    def total_nodes_requested(self) -> int:
+        """``N`` — the sum of nodes requested by all tenants."""
+        return sum(item.nodes_requested for item in self.items)
+
+    def concurrency_profile(self) -> np.ndarray:
+        """Per-epoch count of concurrently active tenants."""
+        counts = np.zeros(self.num_epochs, dtype=np.int32)
+        for item in self.items:
+            counts[item.epochs] += 1
+        return counts
+
+    def dense_vector(self, tenant_id: int) -> np.ndarray:
+        """The 0/1 activity vector of one tenant (for tests / tiny inputs)."""
+        vec = np.zeros(self.num_epochs, dtype=np.int8)
+        vec[self.item(tenant_id).epochs] = 1
+        return vec
+
+
+def concurrency_profile(items: Iterable[ActivityItem], num_epochs: int) -> np.ndarray:
+    """Per-epoch active-tenant count over an arbitrary item subset."""
+    counts = np.zeros(num_epochs, dtype=np.int32)
+    for item in items:
+        counts[item.epochs] += 1
+    return counts
+
+
+def active_tenant_ratio(matrix: ActivityMatrix, conditional: bool = True) -> float:
+    """Average fraction of tenants concurrently active (see ComposedWorkload)."""
+    counts = matrix.concurrency_profile()
+    if conditional:
+        busy = counts[counts > 0]
+        if busy.size == 0:
+            return 0.0
+        return float(busy.mean()) / len(matrix)
+    return float(counts.mean()) / len(matrix)

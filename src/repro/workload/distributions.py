@@ -1,0 +1,54 @@
+"""Tenant-size distribution.
+
+"The skewness of the tenant size is chosen by sampling from the CDF of a
+Zipf distribution with a parameter 0 < θ < 1, where a smaller θ tends to
+uniform whereas a larger θ tends to skew" (§7.1 Step 2).  Rank 1 is the
+smallest node size — as in Figure 5.2, most tenants request small MPPDBs —
+following [11]'s observation that database sizes across companies are
+skew-distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["zipf_pmf", "sample_node_sizes"]
+
+
+def zipf_pmf(num_ranks: int, theta: float) -> np.ndarray:
+    """Zipf probability mass over ranks ``1..num_ranks``: ``p(k) ∝ k**-theta``.
+
+    ``theta -> 0`` tends to uniform; larger ``theta`` tends to skew.
+    """
+    if num_ranks < 1:
+        raise WorkloadError(f"num_ranks must be >= 1, got {num_ranks!r}")
+    if not (0 < theta < 1):
+        raise WorkloadError(f"theta must be in (0, 1), got {theta!r}")
+    ranks = np.arange(1, num_ranks + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    return weights / weights.sum()
+
+
+def sample_node_sizes(
+    node_sizes: Sequence[int],
+    count: int,
+    theta: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` tenant node sizes, Zipf-skewed toward the smallest.
+
+    ``node_sizes`` must be sorted ascending; rank 1 (most probable) maps to
+    the smallest size.
+    """
+    sizes = list(node_sizes)
+    if sizes != sorted(sizes):
+        raise WorkloadError("node_sizes must be sorted ascending")
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count!r}")
+    pmf = zipf_pmf(len(sizes), theta)
+    draws = rng.choice(len(sizes), size=count, p=pmf)
+    return np.asarray(sizes, dtype=np.int64)[draws]

@@ -1,0 +1,181 @@
+"""Workload persistence: query logs and session libraries on disk.
+
+A production Tenant Activity Monitor collects query logs continuously
+(Chapter 3); this module gives the library the matching on-disk formats:
+
+* **Tenant logs** as JSON Lines — a header line with the tenant spec,
+  then one line per query record.  Human-greppable, append-friendly,
+  diff-able: the natural interchange format for logs.
+* **Session libraries** as a single JSON document — the Step 1 artifact
+  (§7.1) is expensive to regenerate, so benchmarks and deployments can
+  cache it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import WorkloadError
+from .generator import SessionLibrary, SessionLog
+from .logs import QueryRecord, TenantLog
+from .tenant import TenantSpec
+
+__all__ = [
+    "write_tenant_log",
+    "read_tenant_log",
+    "save_session_library",
+    "load_session_library",
+]
+
+_LOG_FORMAT_VERSION = 1
+_LIBRARY_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: QueryRecord) -> dict:
+    return {
+        "t": record.submit_time_s,
+        "lat": record.latency_s,
+        "q": record.template,
+        "u": record.user,
+        "b": record.batch_id,
+    }
+
+
+def _record_from_dict(data: dict) -> QueryRecord:
+    try:
+        return QueryRecord(
+            submit_time_s=float(data["t"]),
+            latency_s=float(data["lat"]),
+            template=str(data["q"]),
+            user=int(data.get("u", 0)),
+            batch_id=int(data.get("b", -1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"malformed query record: {data!r}") from exc
+
+
+def write_tenant_log(log: TenantLog, path: Union[str, Path]) -> Path:
+    """Write a tenant log as JSON Lines; returns the path written."""
+    path = Path(path)
+    spec = log.tenant
+    header = {
+        "format": "thrifty-tenant-log",
+        "version": _LOG_FORMAT_VERSION,
+        "tenant_id": spec.tenant_id,
+        "nodes_requested": spec.nodes_requested,
+        "data_gb": spec.data_gb,
+        "benchmark": spec.benchmark,
+        "max_users": spec.max_users,
+        "tz_offset_hours": spec.tz_offset_hours,
+        "records": len(log),
+    }
+    with path.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for record in log.records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+    return path
+
+
+def read_tenant_log(path: Union[str, Path]) -> TenantLog:
+    """Read a tenant log written by :func:`write_tenant_log`."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise WorkloadError(f"{path}: empty log file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"{path}: malformed header") from exc
+        if header.get("format") != "thrifty-tenant-log":
+            raise WorkloadError(f"{path}: not a thrifty tenant log")
+        if header.get("version") != _LOG_FORMAT_VERSION:
+            raise WorkloadError(
+                f"{path}: unsupported log version {header.get('version')!r}"
+            )
+        try:
+            spec = TenantSpec(
+                tenant_id=int(header["tenant_id"]),
+                nodes_requested=int(header["nodes_requested"]),
+                data_gb=float(header["data_gb"]),
+                benchmark=str(header.get("benchmark", "tpch")),
+                max_users=int(header.get("max_users", 1)),
+                tz_offset_hours=int(header.get("tz_offset_hours", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(f"{path}: malformed tenant header") from exc
+        records = []
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(f"{path}:{line_no}: malformed record") from exc
+            records.append(_record_from_dict(data))
+    expected = header.get("records")
+    if expected is not None and expected != len(records):
+        raise WorkloadError(
+            f"{path}: header promises {expected} records, found {len(records)}"
+        )
+    return TenantLog(spec, records)
+
+
+def save_session_library(library: SessionLibrary, path: Union[str, Path]) -> Path:
+    """Persist a Step 1 session library as one JSON document."""
+    path = Path(path)
+    payload = {
+        "format": "thrifty-session-library",
+        "version": _LIBRARY_FORMAT_VERSION,
+        "sessions": {
+            str(size): [
+                {
+                    "benchmark": session.benchmark,
+                    "num_users": session.num_users,
+                    "duration_s": session.duration_s,
+                    "records": [_record_to_dict(r) for r in session.records],
+                }
+                for session in library.sessions_for(size)
+            ]
+            for size in library.node_sizes
+        },
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_session_library(path: Union[str, Path]) -> SessionLibrary:
+    """Load a session library written by :func:`save_session_library`."""
+    path = Path(path)
+    try:
+        with path.open() as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"{path}: malformed library file") from exc
+    if payload.get("format") != "thrifty-session-library":
+        raise WorkloadError(f"{path}: not a thrifty session library")
+    if payload.get("version") != _LIBRARY_FORMAT_VERSION:
+        raise WorkloadError(
+            f"{path}: unsupported library version {payload.get('version')!r}"
+        )
+    sessions: dict[int, list[SessionLog]] = {}
+    for size_text, entries in payload.get("sessions", {}).items():
+        try:
+            size = int(size_text)
+        except ValueError as exc:
+            raise WorkloadError(f"{path}: bad node size {size_text!r}") from exc
+        sessions[size] = [
+            SessionLog(
+                node_size=size,
+                benchmark=str(entry["benchmark"]),
+                num_users=int(entry["num_users"]),
+                duration_s=float(entry["duration_s"]),
+                records=tuple(_record_from_dict(r) for r in entry["records"]),
+            )
+            for entry in entries
+        ]
+    return SessionLibrary(sessions)

@@ -1,0 +1,74 @@
+"""Tenant descriptors.
+
+A tenant rents an ``nodes_requested``-node MPPDB holding ``data_gb`` of
+TPC-H or TPC-DS data (100 GB per node, §7.1) and has up to ``max_users``
+autonomous users.  The descriptor is what the Deployment Advisor sees:
+the *content* of queries stays private to the tenant (requirement R5 — query
+templates may be unknown beforehand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..mppdb.catalog import TenantData
+
+__all__ = ["TenantSpec"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static description of one tenant."""
+
+    tenant_id: int
+    nodes_requested: int
+    data_gb: float
+    benchmark: str = "tpch"
+    max_users: int = 1
+    tz_offset_hours: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tenant_id < 0:
+            raise WorkloadError(f"tenant ids must be non-negative, got {self.tenant_id!r}")
+        if self.nodes_requested < 1:
+            raise WorkloadError(f"nodes_requested must be >= 1, got {self.nodes_requested!r}")
+        if self.data_gb < 0:
+            raise WorkloadError(f"data_gb must be non-negative, got {self.data_gb!r}")
+        if self.benchmark not in ("tpch", "tpcds"):
+            raise WorkloadError(f"unknown benchmark {self.benchmark!r}")
+        if self.max_users < 1:
+            raise WorkloadError(f"max_users must be >= 1, got {self.max_users!r}")
+        if not (0 <= self.tz_offset_hours < 24):
+            raise WorkloadError(
+                f"tz_offset_hours must be in [0, 24), got {self.tz_offset_hours!r}"
+            )
+
+    def as_tenant_data(self) -> TenantData:
+        """Catalog entry for deploying this tenant on an MPPDB instance."""
+        tables = _benchmark_tables(self.benchmark)
+        return TenantData(tenant_id=self.tenant_id, data_gb=self.data_gb, tables=tables)
+
+
+def _benchmark_tables(benchmark: str) -> tuple[str, ...]:
+    if benchmark == "tpch":
+        return (
+            "lineitem",
+            "orders",
+            "customer",
+            "part",
+            "partsupp",
+            "supplier",
+            "nation",
+            "region",
+        )
+    return (
+        "store_sales",
+        "catalog_sales",
+        "web_sales",
+        "inventory",
+        "item",
+        "customer",
+        "date_dim",
+        "store",
+    )

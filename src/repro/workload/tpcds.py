@@ -1,0 +1,60 @@
+"""TPC-DS query template set.
+
+A 20-query representative subset of TPC-DS (the full suite has 99; the
+paper samples "random TPC-H/DS queries" so what matters is a realistic mix
+of costs and scale-out classes, not the full catalogue).  TPC-DS queries
+are on average join-heavier and more skewed than TPC-H, so this set leans
+sublinear/Amdahl and spans a wider cost range.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..mppdb.scaleout import AmdahlScaleOut, LinearScaleOut, SublinearScaleOut
+from .queries import QueryTemplate
+
+__all__ = ["TPCDS_TEMPLATES", "tpcds_template"]
+
+
+def _t(number: int, seconds_per_gb: float, curve) -> QueryTemplate:
+    return QueryTemplate(
+        name=f"tpcds.q{number}",
+        benchmark="tpcds",
+        seconds_per_gb=seconds_per_gb,
+        curve=curve,
+    )
+
+
+#: Representative TPC-DS templates, keyed by query number.
+TPCDS_TEMPLATES: dict[int, QueryTemplate] = {
+    3: _t(3, 0.0045, LinearScaleOut()),           # brand sales by year
+    7: _t(7, 0.0067, SublinearScaleOut(0.8)),     # promotional items
+    19: _t(19, 0.0060, SublinearScaleOut(0.75)),  # brand revenue by manager
+    27: _t(27, 0.0075, SublinearScaleOut(0.8)),   # store sales rollup
+    34: _t(34, 0.0053, LinearScaleOut()),         # frequent-buyer households
+    42: _t(42, 0.0037, LinearScaleOut()),         # item category revenue
+    43: _t(43, 0.0045, LinearScaleOut()),         # store sales by weekday
+    46: _t(46, 0.0083, SublinearScaleOut(0.75)),  # customer city purchases
+    52: _t(52, 0.0037, LinearScaleOut()),         # brand revenue
+    53: _t(53, 0.0053, SublinearScaleOut(0.8)),   # manufacturer quarterly
+    55: _t(55, 0.0030, LinearScaleOut()),         # brand revenue by month
+    59: _t(59, 0.0112, SublinearScaleOut(0.7)),   # weekly store sales ratio
+    63: _t(63, 0.0053, SublinearScaleOut(0.8)),   # manager monthly sales
+    65: _t(65, 0.0120, SublinearScaleOut(0.7)),   # low-revenue items
+    68: _t(68, 0.0083, SublinearScaleOut(0.75)),  # urban customer extracts
+    72: _t(72, 0.0180, AmdahlScaleOut(0.20)),     # catalog inventory join (notorious)
+    79: _t(79, 0.0075, SublinearScaleOut(0.75)),  # weekend shopping profit
+    88: _t(88, 0.0135, AmdahlScaleOut(0.15)),     # 8-way time-band union
+    96: _t(96, 0.0030, LinearScaleOut()),         # half-hour store traffic
+    98: _t(98, 0.0060, LinearScaleOut()),         # category revenue ratio
+}
+
+
+def tpcds_template(number: int) -> QueryTemplate:
+    """Look up a TPC-DS template by query number."""
+    try:
+        return TPCDS_TEMPLATES[number]
+    except KeyError:
+        raise WorkloadError(
+            f"TPC-DS subset has queries {sorted(TPCDS_TEMPLATES)}, got {number!r}"
+        ) from None

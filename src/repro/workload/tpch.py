@@ -1,0 +1,73 @@
+"""TPC-H query template set.
+
+All 22 TPC-H queries as cost-model templates.  The per-GB costs model a
+fast columnar MPPDB (milliseconds per GB single-node, i.e. queries of
+roughly 0.5–5 s on the 2–32-node tenants of §7.1), calibrated so that the
+consolidation outcomes match the paper at the epoch-size plateau — the
+grouping quality is governed by the dimensionless ratios epoch-size /
+query-duration and epoch-size / think-time, so shorter queries simply
+shift Figure 7.1's plateau to smaller E (see EXPERIMENTS.md).  What
+matters to the reproduction is the *relative* cost mix and the scale-out
+classes:
+
+* **Q1** is the paper's canonical *linear scale-out* query (Figure 1.1a) —
+  a single-table scan-aggregate with no repartitioning.
+* **Q19** is the canonical *non-linear* one (Figure 1.1c) — its join and
+  OR-heavy predicates leave a serial fraction, modelled with Amdahl's law.
+
+Other queries are classified linear (scan/aggregate-dominated), sublinear
+(join-heavy with shuffle overhead) or Amdahl (serial-bottlenecked) from
+their well-known query shapes.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..mppdb.scaleout import AmdahlScaleOut, LinearScaleOut, SublinearScaleOut
+from .queries import QueryTemplate
+
+__all__ = ["TPCH_TEMPLATES", "tpch_template"]
+
+
+def _t(number: int, seconds_per_gb: float, curve) -> QueryTemplate:
+    return QueryTemplate(
+        name=f"tpch.q{number}",
+        benchmark="tpch",
+        seconds_per_gb=seconds_per_gb,
+        curve=curve,
+    )
+
+
+#: The 22 TPC-H templates, keyed by query number.
+TPCH_TEMPLATES: dict[int, QueryTemplate] = {
+    1: _t(1, 0.0090, LinearScaleOut()),          # pricing summary: pure scan-agg
+    2: _t(2, 0.0022, SublinearScaleOut(0.7)),    # min-cost supplier: nested joins
+    3: _t(3, 0.0067, LinearScaleOut()),          # shipping priority
+    4: _t(4, 0.0045, LinearScaleOut()),          # order priority check
+    5: _t(5, 0.0083, SublinearScaleOut(0.75)),   # local supplier volume: 6-way join
+    6: _t(6, 0.0037, LinearScaleOut()),          # forecast revenue: scan + filter
+    7: _t(7, 0.0075, SublinearScaleOut(0.75)),   # volume shipping
+    8: _t(8, 0.0075, SublinearScaleOut(0.7)),    # market share
+    9: _t(9, 0.0135, SublinearScaleOut(0.7)),    # product type profit: largest join
+    10: _t(10, 0.0067, LinearScaleOut()),        # returned items
+    11: _t(11, 0.0015, SublinearScaleOut(0.8)),  # important stock
+    12: _t(12, 0.0053, LinearScaleOut()),        # shipping modes
+    13: _t(13, 0.0060, SublinearScaleOut(0.8)),  # customer distribution
+    14: _t(14, 0.0037, LinearScaleOut()),        # promotion effect
+    15: _t(15, 0.0045, LinearScaleOut()),        # top supplier
+    16: _t(16, 0.0030, SublinearScaleOut(0.8)),  # parts/supplier relationship
+    17: _t(17, 0.0105, AmdahlScaleOut(0.15)),    # small-quantity revenue: correlated subquery
+    18: _t(18, 0.0120, SublinearScaleOut(0.75)), # large volume customer
+    19: _t(19, 0.0083, AmdahlScaleOut(0.20)),    # discounted revenue: Figure 1.1c
+    20: _t(20, 0.0060, AmdahlScaleOut(0.15)),    # potential part promotion
+    21: _t(21, 0.0128, SublinearScaleOut(0.7)),  # suppliers who kept orders waiting
+    22: _t(22, 0.0022, LinearScaleOut()),        # global sales opportunity
+}
+
+
+def tpch_template(number: int) -> QueryTemplate:
+    """Look up a TPC-H template by query number (1..22)."""
+    try:
+        return TPCH_TEMPLATES[number]
+    except KeyError:
+        raise WorkloadError(f"TPC-H has queries 1..22, got {number!r}") from None

@@ -1,0 +1,115 @@
+"""Burst detection tests (Ch. 5.1 regular-burst exclusion)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import (
+    daily_activity_fractions,
+    detect_bursts,
+    predict_next_burst,
+)
+from repro.errors import ReproError
+from repro.units import DAY, HOUR
+from repro.workload.logs import QueryRecord, TenantLog
+from repro.workload.tenant import TenantSpec
+
+
+def _log_with_daily_hours(hours_by_day):
+    """A log active `hours` contiguous hours on each listed day."""
+    spec = TenantSpec(tenant_id=1, nodes_requested=2, data_gb=200.0)
+    records = []
+    for day, hours in hours_by_day.items():
+        records.append(
+            QueryRecord(
+                submit_time_s=day * DAY + 9 * HOUR,
+                latency_s=hours * HOUR,
+                template="tpch.q1",
+            )
+        )
+    return TenantLog(spec, records)
+
+
+class TestDailyFractions:
+    def test_single_day(self):
+        log = _log_with_daily_hours({0: 6})
+        fractions = daily_activity_fractions(log, 3)
+        assert fractions[0] == pytest.approx(0.25)
+        assert fractions[1] == 0.0
+
+    def test_interval_crossing_midnight(self):
+        spec = TenantSpec(tenant_id=1, nodes_requested=2, data_gb=200.0)
+        log = TenantLog(
+            spec,
+            [QueryRecord(submit_time_s=22 * HOUR, latency_s=4 * HOUR, template="q")],
+        )
+        fractions = daily_activity_fractions(log, 2)
+        assert fractions[0] == pytest.approx(2 / 24)
+        assert fractions[1] == pytest.approx(2 / 24)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ReproError):
+            daily_activity_fractions(_log_with_daily_hours({0: 1}), 0)
+
+
+class TestDetectBursts:
+    def test_no_bursts_on_flat_activity(self):
+        log = _log_with_daily_hours({d: 2 for d in range(10)})
+        profile = detect_bursts(log, 10)
+        assert not profile.has_bursts
+        assert not profile.is_regular
+
+    def test_single_burst_detected(self):
+        hours = {d: 1 for d in range(10)}
+        hours[7] = 8  # fiscal crunch
+        profile = detect_bursts(_log_with_daily_hours(hours), 10)
+        assert profile.burst_days == (7,)
+        assert not profile.is_regular  # one burst has no period
+
+    def test_regular_weekly_bursts(self):
+        hours = {d: 1 for d in range(28)}
+        for d in (6, 13, 20, 27):  # weekly reporting burst
+            hours[d] = 8
+        profile = detect_bursts(_log_with_daily_hours(hours), 28)
+        assert profile.burst_days == (6, 13, 20, 27)
+        assert profile.is_regular
+        assert profile.period_days == pytest.approx(7.0)
+
+    def test_irregular_bursts_have_no_period(self):
+        hours = {d: 1 for d in range(28)}
+        for d in (3, 5, 17):
+            hours[d] = 8
+        profile = detect_bursts(_log_with_daily_hours(hours), 28)
+        assert profile.has_bursts
+        assert not profile.is_regular
+
+    def test_idle_tenant(self):
+        spec = TenantSpec(tenant_id=1, nodes_requested=2, data_gb=200.0)
+        profile = detect_bursts(TenantLog(spec, []), 10)
+        assert not profile.has_bursts
+
+    def test_threshold_validation(self):
+        with pytest.raises(ReproError):
+            detect_bursts(_log_with_daily_hours({0: 1}), 10, threshold_ratio=1.0)
+
+
+class TestPredictNextBurst:
+    def _weekly_profile(self):
+        hours = {d: 1 for d in range(28)}
+        for d in (6, 13, 20, 27):
+            hours[d] = 8
+        return detect_bursts(_log_with_daily_hours(hours), 28)
+
+    def test_prediction_extends_the_pattern(self):
+        profile = self._weekly_profile()
+        assert predict_next_burst(profile, after_day=28) == 34
+        assert predict_next_burst(profile, after_day=40) == 41
+
+    def test_prediction_within_recorded_history(self):
+        profile = self._weekly_profile()
+        assert predict_next_burst(profile, after_day=10) == 13
+
+    def test_no_prediction_without_regularity(self):
+        hours = {d: 1 for d in range(28)}
+        hours[3] = 8
+        profile = detect_bursts(_log_with_daily_hours(hours), 28)
+        assert predict_next_burst(profile, after_day=10) is None

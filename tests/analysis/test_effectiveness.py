@@ -1,0 +1,64 @@
+"""Effectiveness analysis helper tests."""
+
+import pytest
+
+from repro.analysis.effectiveness import (
+    compare_solutions,
+    effectiveness_by_size_class,
+)
+from repro.packing.ffd import ffd_grouping
+from repro.packing.livbp import LIVBPwFCProblem
+from repro.packing.two_step import two_step_grouping
+from tests.conftest import make_item
+
+
+@pytest.fixture
+def problem():
+    items = [make_item(i, 2 if i < 6 else 8, [i % 4]) for i in range(10)]
+    return LIVBPwFCProblem(
+        items=tuple(items), num_epochs=10, replication_factor=3, sla_fraction=0.9
+    )
+
+
+class TestCompareSolutions:
+    def test_comparison_fields(self, problem):
+        baseline = ffd_grouping(problem)
+        challenger = two_step_grouping(problem)
+        comparison = compare_solutions(baseline, challenger)
+        assert comparison.baseline_solver.startswith("ffd")
+        assert comparison.challenger_solver == "2-step"
+        assert comparison.nodes_requested == problem.total_nodes_requested()
+        assert comparison.extra_nodes_saved == (
+            baseline.total_nodes_used - challenger.total_nodes_used
+        )
+
+    def test_savings_points(self, problem):
+        baseline = ffd_grouping(problem)
+        challenger = two_step_grouping(problem)
+        comparison = compare_solutions(baseline, challenger)
+        expected = 100.0 * (
+            challenger.consolidation_effectiveness - baseline.consolidation_effectiveness
+        )
+        assert comparison.extra_savings_points == pytest.approx(expected)
+
+
+class TestSizeClassBreakdown:
+    def test_classes_cover_all_groups(self, problem):
+        solution = two_step_grouping(problem)
+        classes = effectiveness_by_size_class(solution)
+        assert sum(c["groups"] for c in classes.values()) == len(solution.groups)
+        assert sum(c["tenants"] for c in classes.values()) == len(problem.items)
+
+    def test_homogeneous_classes_for_two_step(self, problem):
+        solution = two_step_grouping(problem)
+        classes = effectiveness_by_size_class(solution)
+        assert set(classes) <= {2, 8}
+        for size, stats in classes.items():
+            # For homogeneous groups, requested = tenants * size.
+            assert stats["nodes_requested"] == stats["tenants"] * size
+
+    def test_effectiveness_consistent(self, problem):
+        solution = two_step_grouping(problem)
+        classes = effectiveness_by_size_class(solution)
+        used = sum(c["nodes_used"] for c in classes.values())
+        assert used == solution.total_nodes_used

@@ -1,0 +1,56 @@
+"""Text report rendering tests."""
+
+import pytest
+
+from repro.analysis.report import ascii_series, format_table
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "value"], [[1, 2.5], [100, 0.123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Figure 7.1a")
+        assert text.startswith("Figure 7.1a")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+
+class TestAsciiSeries:
+    def test_renders_extremes(self):
+        text = ascii_series([0.0, 0.5, 1.0])
+        assert "min=0" in text
+        assert "max=1" in text
+
+    def test_constant_series(self):
+        text = ascii_series([2.0, 2.0, 2.0])
+        assert "min=2" in text and "max=2" in text
+
+    def test_downsampling_preserves_spikes(self):
+        values = [0.0] * 500
+        values[250] = 10.0
+        text = ascii_series(values, width=50)
+        assert "max=10" in text
+        body = text[text.index("[") + 1: text.index("]")]
+        assert "@" in body  # the spike survives bucketing
+
+    def test_label(self):
+        assert ascii_series([1.0], label="RT-TTP").startswith("RT-TTP ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_series([])

@@ -1,0 +1,66 @@
+"""Workload validation tests."""
+
+import pytest
+
+from repro.analysis.validation import validate_workload
+from repro.errors import WorkloadError
+from repro.workload.composer import ComposedWorkload, SessionPick
+from repro.workload.tenant import TenantSpec
+
+
+class TestHealthyWorkload:
+    def test_generated_workload_passes(self, workload):
+        report = validate_workload(workload)
+        assert report.ok, report.warnings
+        assert report.tenants == len(workload)
+        assert 0.005 <= report.active_ratio_unconditional <= 0.25
+        assert report.active_ratio_conditional >= report.active_ratio_unconditional
+        assert sum(report.class_counts.values()) == len(workload)
+        assert 0.0 < report.mean_daily_busy_hours < 16.0
+
+    def test_strict_mode_passes_silently(self, workload):
+        validate_workload(workload, strict=True)
+
+
+class TestDegenerateWorkloads:
+    def _idle_workload(self, library, config):
+        tenants = [
+            TenantSpec(tenant_id=i, nodes_requested=2, data_gb=200.0)
+            for i in range(4)
+        ]
+        picks = {t.tenant_id: () for t in tenants}
+        return ComposedWorkload(tenants, picks, library, horizon_s=7 * 86400.0)
+
+    def test_idle_workload_flagged(self, library, config):
+        workload = self._idle_workload(library, config)
+        report = validate_workload(workload)
+        assert not report.ok
+        assert any("never active" in w for w in report.warnings)
+        assert any("outside plausible band" in w for w in report.warnings)
+
+    def test_strict_mode_raises(self, library, config):
+        workload = self._idle_workload(library, config)
+        with pytest.raises(WorkloadError):
+            validate_workload(workload, strict=True)
+
+    def test_inverted_size_distribution_flagged(self, library, config):
+        # Many huge tenants, one small: clearly not Zipf-shaped.
+        tenants = [
+            TenantSpec(tenant_id=0, nodes_requested=2, data_gb=200.0)
+        ] + [
+            TenantSpec(tenant_id=i, nodes_requested=8, data_gb=800.0)
+            for i in range(1, 12)
+        ]
+        picks = {
+            t.tenant_id: (
+                SessionPick(node_size=t.nodes_requested, session_index=0, shift_s=0.0),
+            )
+            for t in tenants
+        }
+        workload = ComposedWorkload(tenants, picks, library, horizon_s=7 * 86400.0)
+        report = validate_workload(workload)
+        assert any("not Zipf-shaped" in w for w in report.warnings)
+
+    def test_bad_epoch_rejected(self, workload):
+        with pytest.raises(WorkloadError):
+            validate_workload(workload, epoch_size=0.0)

@@ -1,0 +1,71 @@
+"""Failure injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.pool import MachinePool
+from repro.errors import ClusterError
+from repro.simulation.engine import Simulator
+
+
+def _running_pool(size: int, owner: str = "mppdb0") -> MachinePool:
+    pool = MachinePool(size)
+    for node in pool.allocate(size, owner):
+        node.mark_running()
+    return pool
+
+
+class TestFailureInjector:
+    def test_invalid_mtbf_rejected(self):
+        with pytest.raises(ClusterError):
+            FailureInjector(MachinePool(1), Simulator(), 0.0, np.random.default_rng(0))
+
+    def test_inject_now(self):
+        pool = _running_pool(2)
+        sim = Simulator()
+        injector = FailureInjector(pool, sim, mtbf_s=1e9, rng=np.random.default_rng(0))
+        failure = injector.inject_now(0)
+        assert failure.node_id == 0
+        assert failure.owner == "mppdb0"
+        assert pool.node(0).state.value == "failed"
+
+    def test_handler_notified(self):
+        pool = _running_pool(1)
+        sim = Simulator()
+        injector = FailureInjector(pool, sim, mtbf_s=1e9, rng=np.random.default_rng(0))
+        seen = []
+        injector.on_failure(seen.append)
+        injector.inject_now(0)
+        assert len(seen) == 1
+        assert seen[0].node_id == 0
+
+    def test_arm_schedules_exponential_failures(self):
+        pool = _running_pool(4)
+        sim = Simulator()
+        injector = FailureInjector(pool, sim, mtbf_s=100.0, rng=np.random.default_rng(1))
+        scheduled = injector.arm(horizon=1000.0)
+        assert scheduled > 0
+        sim.run(until=1000.0)
+        # A node can only fail once; further events on it are ignored.
+        assert 0 < len(injector.failures) <= 4
+
+    def test_no_failures_beyond_horizon(self):
+        pool = _running_pool(2)
+        sim = Simulator()
+        injector = FailureInjector(pool, sim, mtbf_s=1e12, rng=np.random.default_rng(2))
+        assert injector.arm(horizon=10.0) == 0
+
+    def test_replacement_workflow(self):
+        # Ch. 4.4: "Thrifty will replace a failed node by starting a new
+        # node upon receiving node failure notification".
+        pool = _running_pool(2)
+        sim = Simulator()
+        injector = FailureInjector(pool, sim, mtbf_s=1e9, rng=np.random.default_rng(0))
+        replacements = []
+        injector.on_failure(
+            lambda f: replacements.append(pool.replace_failed(pool.node(f.node_id), f.owner))
+        )
+        injector.inject_now(1)
+        assert len(replacements) == 1
+        assert replacements[0].assigned_to == "mppdb0"

@@ -1,0 +1,82 @@
+"""Node lifecycle tests."""
+
+import pytest
+
+from repro.cluster.node import DEFAULT_NODE_SPEC, Node, NodeSpec, NodeState
+from repro.errors import ClusterError
+
+
+class TestNodeSpec:
+    def test_default_matches_ec2_extra_large(self):
+        # §7.2: Amazon EC2 Extra Large — 15 GB memory, 8 compute units.
+        assert DEFAULT_NODE_SPEC.ram_gb == 15.0
+        assert DEFAULT_NODE_SPEC.cpu_units == 8
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ClusterError):
+            NodeSpec(cpu_units=0)
+        with pytest.raises(ClusterError):
+            NodeSpec(ram_gb=0)
+        with pytest.raises(ClusterError):
+            NodeSpec(io_mb_per_s=-1)
+
+
+class TestNodeLifecycle:
+    def test_initial_state(self):
+        node = Node(0)
+        assert node.state == NodeState.HIBERNATED
+        assert node.is_available
+        assert node.assigned_to is None
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ClusterError):
+            Node(-1)
+
+    def test_assign_start_run(self):
+        node = Node(0)
+        node.assign("mppdb0")
+        assert node.state == NodeState.STARTING
+        assert node.assigned_to == "mppdb0"
+        assert not node.is_available
+        node.mark_running()
+        assert node.state == NodeState.RUNNING
+
+    def test_double_assign_rejected(self):
+        node = Node(0)
+        node.assign("a")
+        with pytest.raises(ClusterError):
+            node.assign("b")
+
+    def test_mark_running_requires_starting(self):
+        with pytest.raises(ClusterError):
+            Node(0).mark_running()
+
+    def test_release_returns_to_pool(self):
+        node = Node(0)
+        node.assign("a")
+        node.mark_running()
+        node.release()
+        assert node.is_available
+
+    def test_release_unassigned_rejected(self):
+        with pytest.raises(ClusterError):
+            Node(0).release()
+
+    def test_failure_and_repair(self):
+        node = Node(0)
+        node.assign("a")
+        node.mark_running()
+        node.fail()
+        assert node.state == NodeState.FAILED
+        assert not node.is_available
+        node.repair()
+        assert node.is_available
+
+    def test_hibernated_node_cannot_fail(self):
+        with pytest.raises(ClusterError):
+            Node(0).fail()
+
+    def test_repair_requires_failed(self):
+        node = Node(0)
+        with pytest.raises(ClusterError):
+            node.repair()

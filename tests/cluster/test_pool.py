@@ -1,0 +1,105 @@
+"""Machine pool tests: allocation, elasticity, failures, hibernation."""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.cluster.pool import MachinePool
+from repro.errors import CapacityError, ClusterError
+
+
+class TestAllocation:
+    def test_allocate_hands_out_starting_nodes(self):
+        pool = MachinePool(10)
+        nodes = pool.allocate(4, "mppdb0")
+        assert len(nodes) == 4
+        assert all(n.state == NodeState.STARTING for n in nodes)
+        assert all(n.assigned_to == "mppdb0" for n in nodes)
+        assert pool.available_count == 6
+        assert pool.in_use_count == 4
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ClusterError):
+            MachinePool(4).allocate(0, "x")
+
+    def test_inelastic_pool_enforces_capacity(self):
+        pool = MachinePool(2, elastic=False)
+        with pytest.raises(CapacityError):
+            pool.allocate(3, "x")
+
+    def test_elastic_pool_grows(self):
+        pool = MachinePool(2, elastic=True)
+        nodes = pool.allocate(5, "x")
+        assert len(nodes) == 5
+        assert len(pool) == 5
+        assert pool.rented_nodes == 3
+
+    def test_release_owner(self):
+        pool = MachinePool(6)
+        pool.allocate(4, "a")
+        assert pool.release_owner("a") == 4
+        assert pool.available_count == 6
+
+    def test_owners_mapping(self):
+        pool = MachinePool(6)
+        pool.allocate(2, "a")
+        pool.allocate(3, "b")
+        owners = pool.owners()
+        assert sorted(owners) == ["a", "b"]
+        assert len(owners["a"]) == 2
+        assert len(owners["b"]) == 3
+
+    def test_nodes_of(self):
+        pool = MachinePool(4)
+        pool.allocate(2, "a")
+        assert len(pool.nodes_of("a")) == 2
+        assert pool.nodes_of("missing") == []
+
+
+class TestFailureHandling:
+    def test_fail_and_replace(self):
+        pool = MachinePool(6)
+        nodes = pool.allocate(2, "a")
+        for n in nodes:
+            n.mark_running()
+        failed = pool.fail_node(nodes[0].node_id)
+        assert failed.state == NodeState.FAILED
+        replacement = pool.replace_failed(failed, "a")
+        assert replacement.assigned_to == "a"
+        assert replacement.node_id != failed.node_id
+
+    def test_replace_requires_failed_node(self):
+        pool = MachinePool(4)
+        nodes = pool.allocate(1, "a")
+        with pytest.raises(ClusterError):
+            pool.replace_failed(nodes[0], "a")
+
+    def test_release_owner_repairs_failed_nodes(self):
+        pool = MachinePool(4)
+        nodes = pool.allocate(2, "a")
+        for n in nodes:
+            n.mark_running()
+        pool.fail_node(nodes[0].node_id)
+        assert pool.release_owner("a") == 2
+        assert pool.available_count == 4
+
+    def test_unknown_node_id_rejected(self):
+        with pytest.raises(ClusterError):
+            MachinePool(2).node(99)
+
+
+class TestReporting:
+    def test_utilization_summary(self):
+        pool = MachinePool(5)
+        nodes = pool.allocate(2, "a")
+        nodes[0].mark_running()
+        summary = pool.utilization_summary()
+        assert summary["hibernated"] == 3
+        assert summary["starting"] == 1
+        assert summary["running"] == 1
+        assert summary["failed"] == 0
+
+    def test_nodes_in_state(self):
+        pool = MachinePool(3)
+        pool.allocate(1, "a")
+        assert len(pool.nodes_in_state(NodeState.HIBERNATED)) == 2
+        assert len(pool.nodes_in_state(NodeState.STARTING)) == 1

@@ -1,0 +1,97 @@
+"""Deployment Advisor tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import DeploymentAdvisor, GROUPING_ALGORITHMS
+from repro.errors import DeploymentError
+from repro.workload.activity import ActivityMatrix
+from repro.workload.tenant import TenantSpec
+from tests.conftest import make_item, tiny_config
+
+
+class TestPlanFromWorkload:
+    def test_two_step_plan(self, config, workload):
+        advisor = DeploymentAdvisor(config)
+        result = advisor.plan_from_workload(workload)
+        plan = result.plan
+        assert plan.total_nodes_requested == workload.total_nodes_requested()
+        assert 0.0 < plan.consolidation_effectiveness < 1.0
+        # Every consolidated tenant appears exactly once.
+        planned = {t for g in plan for t in g.placement.tenant_ids}
+        excluded = {t.tenant_id for t in result.excluded}
+        assert planned | excluded == set(workload.tenant_ids)
+        assert not planned & excluded
+
+    def test_plan_uses_replication_factor_instances(self, config, workload):
+        result = DeploymentAdvisor(config).plan_from_workload(workload)
+        for group in result.plan:
+            assert group.design.num_instances == config.replication_factor
+
+    def test_ffd_backend(self, config, workload):
+        result = DeploymentAdvisor(config, grouping="ffd").plan_from_workload(workload)
+        assert result.grouping.solver.startswith("ffd")
+
+    def test_unknown_backend_rejected(self, config):
+        with pytest.raises(DeploymentError):
+            DeploymentAdvisor(config, grouping="magic")
+
+    def test_available_backends(self):
+        assert set(GROUPING_ALGORITHMS) == {"two-step", "ffd"}
+
+    def test_epoch_size_override(self, config, workload):
+        advisor = DeploymentAdvisor(config)
+        result = advisor.plan_from_workload(workload, epoch_size=60.0)
+        assert result.plan.total_nodes_used > 0
+
+
+class TestExclusion:
+    def _matrix_with_hog(self):
+        # Tenant 1 is active in 80 % of epochs; tenant 2 is quiet.
+        items = [
+            make_item(1, 4, list(range(80))),
+            make_item(2, 4, [0, 1]),
+            make_item(3, 4, [5, 6]),
+        ]
+        return ActivityMatrix(items, num_epochs=100)
+
+    def _specs(self, data_gb=400.0):
+        return [
+            TenantSpec(tenant_id=i, nodes_requested=4, data_gb=data_gb)
+            for i in (1, 2, 3)
+        ]
+
+    def test_always_active_tenant_excluded(self):
+        config = tiny_config()
+        advisor = DeploymentAdvisor(config, max_active_fraction=0.5)
+        result = advisor.plan_from_matrix(self._matrix_with_hog(), self._specs())
+        assert [t.tenant_id for t in result.excluded] == [1]
+        assert result.excluded_nodes == 4
+
+    def test_oversized_tenant_excluded(self):
+        config = tiny_config()
+        advisor = DeploymentAdvisor(config, max_data_gb=300.0)
+        specs = self._specs(400.0)
+        # Make tenant 3 small enough to stay consolidable.
+        specs[2] = TenantSpec(tenant_id=3, nodes_requested=4, data_gb=200.0)
+        result = advisor.plan_from_matrix(self._matrix_with_hog(), specs)
+        assert {t.tenant_id for t in result.excluded} == {1, 2}
+
+    def test_all_excluded_rejected(self):
+        config = tiny_config()
+        advisor = DeploymentAdvisor(config, max_active_fraction=0.001)
+        with pytest.raises(DeploymentError):
+            advisor.plan_from_matrix(self._matrix_with_hog(), self._specs())
+
+    def test_activity_for_unknown_tenant_rejected(self):
+        config = tiny_config()
+        advisor = DeploymentAdvisor(config)
+        matrix = ActivityMatrix([make_item(9, 4, [0])], num_epochs=10)
+        with pytest.raises(DeploymentError):
+            advisor.plan_from_matrix(matrix, self._specs())
+
+    def test_threshold_validation(self):
+        with pytest.raises(DeploymentError):
+            DeploymentAdvisor(tiny_config(), max_active_fraction=0.0)
+        with pytest.raises(DeploymentError):
+            DeploymentAdvisor(tiny_config(), max_data_gb=0.0)

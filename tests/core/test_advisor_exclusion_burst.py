@@ -1,0 +1,93 @@
+"""Cross-feature test: burst detection feeding advisor exclusion.
+
+Chapter 5.1's closing remark: tenants with regular activity bursts are
+identified by the monitoring and excluded from consolidation before the
+bursts arrive.  This test wires `repro.analysis.bursts` to the advisor's
+exclusion path the way an operator would.
+"""
+
+import pytest
+
+from repro.analysis.bursts import detect_bursts, predict_next_burst
+from repro.core.advisor import DeploymentAdvisor
+from repro.units import DAY, HOUR
+from repro.workload.activity import ActivityItem, ActivityMatrix, active_epoch_indices
+from repro.workload.logs import QueryRecord, TenantLog
+from repro.workload.tenant import TenantSpec
+from tests.conftest import tiny_config
+
+
+def _tenant_log(tenant_id, bursty: bool, horizon_days=28):
+    spec = TenantSpec(tenant_id=tenant_id, nodes_requested=2, data_gb=200.0)
+    records = []
+    for day in range(horizon_days):
+        if day % 7 >= 5:
+            continue
+        hours = 8.0 if (bursty and day % 7 == 4) else 1.0  # Friday crunch
+        records.append(
+            QueryRecord(
+                submit_time_s=day * DAY + 9 * HOUR,
+                latency_s=hours * HOUR,
+                template="tpch.q1",
+            )
+        )
+    return TenantLog(spec, records)
+
+
+class TestBurstAwarePlanning:
+    def test_bursty_tenant_detected_and_divertable(self):
+        horizon_days = 28
+        logs = {i: _tenant_log(i, bursty=(i == 0)) for i in range(8)}
+        profiles = {i: detect_bursts(log, horizon_days) for i, log in logs.items()}
+        regular_bursters = [i for i, p in profiles.items() if p.is_regular]
+        assert regular_bursters == [0]
+        # The operator knows when to expect the next burst...
+        next_burst = predict_next_burst(profiles[0], after_day=horizon_days)
+        assert next_burst is not None
+        assert next_burst % 7 == 4  # another Friday
+        # ...and plans consolidation for the non-bursty tenants only.
+        config = tiny_config(num_tenants=8)
+        keep = [i for i in logs if i not in regular_bursters]
+        items = [
+            ActivityItem(
+                tenant_id=i,
+                nodes_requested=logs[i].tenant.nodes_requested,
+                epochs=active_epoch_indices(logs[i].busy_intervals(), 60.0),
+            )
+            for i in keep
+        ]
+        matrix = ActivityMatrix(items, num_epochs=int(horizon_days * DAY / 60.0))
+        advisor = DeploymentAdvisor(config)
+        result = advisor.plan_from_matrix(matrix, [logs[i].tenant for i in keep])
+        planned = {t for g in result.plan for t in g.placement.tenant_ids}
+        assert 0 not in planned
+        assert planned == set(keep)
+
+    def test_identical_daily_pattern_packs_tightly(self):
+        # Sanity: the 7 non-bursty tenants share identical activity, so at
+        # R = 3 the grouping can stack 3 per epoch... their activity being
+        # IDENTICAL means concurrency equals group size; feasible groups
+        # hold at most R of them at P = 100 %.
+        horizon_days = 28
+        logs = {i: _tenant_log(i, bursty=False) for i in range(6)}
+        items = [
+            ActivityItem(
+                tenant_id=i,
+                nodes_requested=2,
+                epochs=active_epoch_indices(log.busy_intervals(), 60.0),
+            )
+            for i, log in logs.items()
+        ]
+        from repro.packing.livbp import LIVBPwFCProblem
+        from repro.packing.two_step import two_step_grouping
+
+        problem = LIVBPwFCProblem(
+            items=tuple(items),
+            num_epochs=int(horizon_days * DAY / 60.0),
+            replication_factor=3,
+            sla_fraction=1.0,
+        )
+        solution = two_step_grouping(problem)
+        solution.validate()
+        assert all(len(g) <= 3 for g in solution.groups)
+        assert len(solution.groups) == 2

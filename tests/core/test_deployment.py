@@ -1,0 +1,80 @@
+"""Deployment plan container tests."""
+
+import pytest
+
+from repro.core.deployment import DeploymentPlan, GroupDeployment
+from repro.core.tdd import design_for_group
+from repro.errors import DeploymentError
+from repro.workload.tenant import TenantSpec
+
+
+def _group(name, tenant_ids, nodes=4, num_instances=3):
+    tenants = tuple(
+        TenantSpec(tenant_id=i, nodes_requested=nodes, data_gb=nodes * 100.0)
+        for i in tenant_ids
+    )
+    design, placement = design_for_group(name, tenants, num_instances=num_instances)
+    return GroupDeployment(design=design, placement=placement, tenants=tenants)
+
+
+class TestGroupDeployment:
+    def test_node_accounting(self):
+        group = _group("tg0", [1, 2, 3, 4, 5])
+        assert group.nodes_used == 12       # 3 instances x 4 nodes
+        assert group.nodes_requested == 20  # 5 tenants x 4 nodes
+
+    def test_tenant_lookup(self):
+        group = _group("tg0", [1, 2])
+        assert group.tenant(2).tenant_id == 2
+        with pytest.raises(DeploymentError):
+            group.tenant(9)
+
+    def test_mismatched_names_rejected(self):
+        a = _group("tg0", [1, 2])
+        b = _group("tg1", [3, 4])
+        with pytest.raises(DeploymentError):
+            GroupDeployment(design=a.design, placement=b.placement, tenants=a.tenants)
+
+    def test_specs_must_match_placement(self):
+        group = _group("tg0", [1, 2])
+        wrong_specs = (
+            TenantSpec(tenant_id=9, nodes_requested=4, data_gb=400.0),
+        )
+        with pytest.raises(DeploymentError):
+            GroupDeployment(design=group.design, placement=group.placement, tenants=wrong_specs)
+
+
+class TestDeploymentPlan:
+    def test_effectiveness(self):
+        plan = DeploymentPlan([_group("tg0", range(10))])
+        # 10 tenants x 4 nodes requested = 40; used = 12.
+        assert plan.total_nodes_requested == 40
+        assert plan.total_nodes_used == 12
+        assert plan.consolidation_effectiveness == pytest.approx(0.7)
+
+    def test_group_lookup(self):
+        plan = DeploymentPlan([_group("tg0", [1, 2]), _group("tg1", [3, 4])])
+        assert plan.group("tg1").group_name == "tg1"
+        assert plan.group_of_tenant(3).group_name == "tg1"
+        with pytest.raises(DeploymentError):
+            plan.group("missing")
+        with pytest.raises(DeploymentError):
+            plan.group_of_tenant(99)
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeploymentPlan([_group("tg0", [1]), _group("tg0", [2])])
+
+    def test_overlapping_tenants_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeploymentPlan([_group("tg0", [1, 2]), _group("tg1", [2, 3])])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeploymentPlan([])
+
+    def test_summary(self):
+        plan = DeploymentPlan([_group("tg0", [1, 2, 3])])
+        summary = plan.summary()
+        assert summary["groups"] == 1.0
+        assert summary["tenants"] == 3.0

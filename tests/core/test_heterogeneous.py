@@ -1,0 +1,171 @@
+"""Heterogeneous-cluster tests (future work item 1)."""
+
+import pytest
+
+from repro.cluster.node import NodeSpec
+from repro.cluster.pool import MachinePool
+from repro.core.deployment import DeploymentPlan, GroupDeployment
+from repro.core.heterogeneous import assign_node_classes, plan_speed_summary
+from repro.core.tdd import design_for_group
+from repro.errors import ClusterError, DeploymentError
+from repro.mppdb.provisioning import Provisioner
+from repro.simulation.engine import Simulator
+from repro.workload.tenant import TenantSpec
+
+FAST = NodeSpec(cpu_units=16, ram_gb=30.0, relative_speed=2.0)
+
+
+def _group(name, tenant_ids, nodes=4):
+    tenants = tuple(
+        TenantSpec(tenant_id=i, nodes_requested=nodes, data_gb=nodes * 100.0)
+        for i in tenant_ids
+    )
+    design, placement = design_for_group(name, tenants, num_instances=3)
+    return GroupDeployment(design=design, placement=placement, tenants=tenants)
+
+
+class TestPoolClasses:
+    def test_default_class(self):
+        pool = MachinePool(4)
+        assert set(pool.node_classes) == {"standard"}
+        assert pool.available_count_of("standard") == 4
+
+    def test_add_class_and_allocate(self):
+        pool = MachinePool(4)
+        pool.add_node_class("fast", FAST, count=6)
+        assert pool.available_count_of("fast") == 6
+        nodes = pool.allocate(3, "m0", node_class="fast")
+        assert all(n.node_class == "fast" for n in nodes)
+        assert all(n.spec.relative_speed == 2.0 for n in nodes)
+        assert pool.available_count_of("fast") == 3
+        assert pool.available_count_of("standard") == 4
+
+    def test_elastic_growth_per_class(self):
+        pool = MachinePool(0, elastic=True)
+        pool.add_node_class("fast", FAST, count=1)
+        nodes = pool.allocate(3, "m0", node_class="fast")
+        assert len(nodes) == 3
+        assert all(n.node_class == "fast" for n in nodes)
+        assert pool.rented_nodes == 2
+
+    def test_duplicate_class_rejected(self):
+        pool = MachinePool(1)
+        with pytest.raises(ClusterError):
+            pool.add_node_class("standard", FAST)
+
+    def test_unknown_class_rejected(self):
+        pool = MachinePool(1)
+        with pytest.raises(ClusterError):
+            pool.allocate(1, "m0", node_class="warp")
+        with pytest.raises(ClusterError):
+            pool.available_count_of("warp")
+
+    def test_replacement_keeps_class(self):
+        pool = MachinePool(0)
+        pool.add_node_class("fast", FAST, count=3)
+        nodes = pool.allocate(2, "m0", node_class="fast")
+        for n in nodes:
+            n.mark_running()
+        failed = pool.fail_node(nodes[0].node_id)
+        replacement = pool.replace_failed(failed, "m0")
+        assert replacement.node_class == "fast"
+
+
+class TestProvisioningSpeedFactor:
+    def test_instance_inherits_class_speed(self):
+        sim = Simulator()
+        pool = MachinePool(4)
+        pool.add_node_class("fast", FAST, count=4)
+        prov = Provisioner(sim, pool)
+        fast = prov.provision(2, [], name="f", instant=True, node_class="fast")
+        slow = prov.provision(2, [], name="s", instant=True)
+        assert fast.speed_factor == 2.0
+        assert slow.speed_factor == 1.0
+
+
+class TestAssignment:
+    def test_largest_group_gets_fastest_class(self):
+        pool = MachinePool(100)
+        pool.add_node_class("fast", FAST, count=30)
+        big = _group("big", range(10), nodes=8)      # 24 nodes used
+        small = _group("small", range(10, 14), nodes=2)  # 6 nodes used
+        plan = DeploymentPlan([small, big])
+        assignment = assign_node_classes(plan, pool)
+        assert assignment["big"] == "fast"
+        assert assignment["small"] == "fast"  # 6 <= 30 - 24 remaining
+
+    def test_stock_limits_upgrades(self):
+        pool = MachinePool(100)
+        pool.add_node_class("fast", FAST, count=25)
+        big = _group("big", range(10), nodes=8)      # 24 used
+        small = _group("small", range(10, 14), nodes=2)  # 6 used
+        plan = DeploymentPlan([small, big])
+        assignment = assign_node_classes(plan, pool)
+        assert assignment["big"] == "fast"
+        assert assignment["small"] == "standard"  # only 1 fast node left
+
+    def test_no_fast_class_all_standard(self):
+        pool = MachinePool(100)
+        plan = DeploymentPlan([_group("a", range(3))])
+        assignment = assign_node_classes(plan, pool)
+        assert assignment == {"a": "standard"}
+
+    def test_missing_default_rejected(self):
+        pool = MachinePool(10)
+        plan = DeploymentPlan([_group("a", range(3))])
+        with pytest.raises(DeploymentError):
+            assign_node_classes(plan, pool, default_class="warp")
+
+    def test_speed_summary(self):
+        pool = MachinePool(100)
+        pool.add_node_class("fast", FAST, count=30)
+        big = _group("big", range(10), nodes=8)
+        small = _group("small", range(10, 14), nodes=2)
+        plan = DeploymentPlan([small, big])
+        assignment = {"big": "fast", "small": "standard"}
+        summary = plan_speed_summary(plan, pool, assignment)
+        # 24 nodes at 2.0 + 6 nodes at 1.0 over 30 nodes.
+        assert summary["mean_speed"] == pytest.approx((24 * 2 + 6) / 30)
+        assert summary["upgraded_groups"] == 1.0
+
+    def test_summary_validation(self):
+        pool = MachinePool(10)
+        plan = DeploymentPlan([_group("a", range(3))])
+        with pytest.raises(DeploymentError):
+            plan_speed_summary(plan, pool, {})
+
+
+class TestEndToEndSpeedup:
+    def test_fast_class_shortens_latencies(self):
+        # Deploy the same group on standard and fast hardware; the fast
+        # replay finishes every query twice as fast (normalized 0.5).
+        from repro.core.master import DeploymentMaster
+        from repro.core.runtime import GroupRuntime
+        from repro.workload.logs import QueryRecord, TenantLog
+        from repro.workload.queries import template_by_name
+
+        group = _group("g", range(1, 4), nodes=2)
+        q1 = template_by_name("tpch.q1")
+        baseline = q1.dedicated_latency_s(200.0, 2)
+        results = {}
+        for node_class in ("standard", "fast"):
+            sim = Simulator()
+            pool = MachinePool(0, elastic=True)
+            pool.add_node_class("fast", FAST)
+            master = DeploymentMaster(Provisioner(sim, pool))
+            deployed = master.deploy_group(group, instant=True, node_class=node_class)
+            logs = {
+                t.tenant_id: TenantLog(
+                    t,
+                    [QueryRecord(submit_time_s=10.0, latency_s=baseline, template="tpch.q1")]
+                    if t.tenant_id == 1
+                    else [],
+                )
+                for t in group.tenants
+            }
+            runtime = GroupRuntime(deployed, logs, sim, master.provisioner, sla_fraction=0.999)
+            results[node_class] = runtime.run(until=10_000.0)
+        standard = results["standard"].sla.records[0].normalized
+        fast = results["fast"].sla.records[0].normalized
+        assert standard == pytest.approx(1.0)
+        assert fast == pytest.approx(0.5)

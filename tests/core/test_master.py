@@ -1,0 +1,81 @@
+"""Deployment Master tests."""
+
+import pytest
+
+from repro.cluster.pool import MachinePool
+from repro.core.advisor import DeploymentAdvisor
+from repro.core.master import DeploymentMaster
+from repro.errors import DeploymentError
+from repro.mppdb.provisioning import Provisioner
+from repro.simulation.engine import Simulator
+
+
+@pytest.fixture
+def advice(config, workload):
+    return DeploymentAdvisor(config).plan_from_workload(workload)
+
+
+def _master(pool=None):
+    sim = Simulator()
+    return sim, DeploymentMaster(Provisioner(sim, pool))
+
+
+class TestDeploy:
+    def test_instant_deploy(self, advice):
+        sim, master = _master()
+        deployed = master.deploy(advice.plan, instant=True)
+        assert len(deployed) == len(advice.plan)
+        for group in deployed:
+            assert len(group.instances) == group.deployment.design.num_instances
+            for instance in group.instances:
+                assert instance.is_ready
+                # Every instance hosts every tenant of its group.
+                for tenant_id in group.deployment.placement.tenant_ids:
+                    assert instance.hosts(tenant_id)
+
+    def test_instance_parallelisms_match_design(self, advice):
+        __, master = _master()
+        deployed = master.deploy(advice.plan, instant=True)
+        for group in deployed:
+            design = group.deployment.design
+            for index, instance in enumerate(group.instances):
+                assert instance.parallelism == design.instance_parallelism(index)
+
+    def test_timed_deploy_requires_simulation(self, advice):
+        sim, master = _master()
+        group = advice.plan.groups[0]
+        deployed = master.deploy_group(group, instant=False)
+        assert not deployed.instances[0].is_ready
+        sim.run()
+        assert all(i.is_ready for i in deployed.instances)
+
+    def test_pool_usage_matches_plan(self, advice):
+        sim = Simulator()
+        pool = MachinePool(elastic=True)
+        master = DeploymentMaster(Provisioner(sim, pool))
+        master.deploy(advice.plan, instant=True)
+        assert pool.in_use_count == advice.plan.total_nodes_used
+
+    def test_duplicate_deploy_rejected(self, advice):
+        __, master = _master()
+        master.deploy(advice.plan, instant=True)
+        with pytest.raises(DeploymentError):
+            master.deploy_group(advice.plan.groups[0], instant=True)
+
+
+class TestDecommission:
+    def test_decommission_releases_nodes(self, advice):
+        sim = Simulator()
+        pool = MachinePool(elastic=True)
+        master = DeploymentMaster(Provisioner(sim, pool))
+        master.deploy(advice.plan, instant=True)
+        name = advice.plan.groups[0].group_name
+        master.decommission_group(name)
+        assert name not in master.deployed_groups()
+        used_by_group = advice.plan.groups[0].nodes_used
+        assert pool.in_use_count == advice.plan.total_nodes_used - used_by_group
+
+    def test_decommission_unknown_rejected(self):
+        __, master = _master()
+        with pytest.raises(DeploymentError):
+            master.decommission_group("missing")

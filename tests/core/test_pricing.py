@@ -1,0 +1,65 @@
+"""Pricing model tests (Ch. 3 pricing; §1.1 cost motivation)."""
+
+import pytest
+
+from repro.core.pricing import PricingModel, TenantInvoice
+from repro.errors import ConfigurationError
+from repro.workload.logs import QueryRecord, TenantLog
+from repro.workload.tenant import TenantSpec
+
+
+def _log(busy_hours: float, nodes: int = 4):
+    spec = TenantSpec(tenant_id=1, nodes_requested=nodes, data_gb=nodes * 100.0)
+    records = [
+        QueryRecord(submit_time_s=0.0, latency_s=busy_hours * 3600.0, template="tpch.q1")
+    ]
+    return TenantLog(spec, records)
+
+
+class TestInvoice:
+    def test_amount(self):
+        invoice = TenantInvoice(
+            tenant_id=1, nodes_requested=4, active_hours=10.0, node_hour_rate=4.0
+        )
+        assert invoice.amount == 160.0
+
+    def test_invoice_from_log(self):
+        model = PricingModel(node_hour_rate=2.0)
+        invoice = model.invoice(_log(busy_hours=3.0, nodes=4))
+        assert invoice.active_hours == pytest.approx(3.0)
+        assert invoice.amount == pytest.approx(4 * 3.0 * 2.0)
+
+    def test_minimum_billable_hours(self):
+        model = PricingModel(node_hour_rate=1.0, minimum_billable_hours=5.0)
+        invoice = model.invoice(_log(busy_hours=1.0))
+        assert invoice.active_hours == 5.0
+
+
+class TestDedicatedComparison:
+    def test_consolidated_cheaper_for_mostly_inactive_tenant(self):
+        # §1.1: a tenant active 1 h/day pays far less than renting four
+        # dedicated nodes around the clock.
+        model = PricingModel(node_hour_rate=4.0)
+        invoice = model.invoice(_log(busy_hours=1.0, nodes=4))
+        dedicated = model.dedicated_cost(nodes=4, period_hours=24.0)
+        assert invoice.amount < dedicated / 10
+
+    def test_dedicated_cost(self):
+        assert PricingModel(node_hour_rate=1.0).dedicated_cost(2, 10.0) == 20.0
+
+
+class TestValidation:
+    def test_rate_positive(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel(node_hour_rate=0.0)
+
+    def test_minimum_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel(minimum_billable_hours=-1.0)
+
+    def test_dedicated_validation(self):
+        model = PricingModel()
+        with pytest.raises(ConfigurationError):
+            model.dedicated_cost(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.dedicated_cost(1, -1.0)

@@ -1,0 +1,70 @@
+"""Proactive scaling policy tests (Ch. 5.1's rejected alternative)."""
+
+import pytest
+
+from repro.core.scaling import ProactiveScaling
+from repro.errors import ScalingError
+
+
+class TestPredictor:
+    def test_too_few_samples(self):
+        policy = ProactiveScaling(min_samples=4)
+        policy._samples["g"] = [(0.0, 1.0), (1.0, 0.99)]
+        assert policy.predict_rt_ttp("g", 10.0) is None
+
+    def test_linear_trend_extrapolation(self):
+        policy = ProactiveScaling(min_samples=3)
+        policy._samples["g"] = [(0.0, 1.0), (100.0, 0.999), (200.0, 0.998), (300.0, 0.997)]
+        predicted = policy.predict_rt_ttp("g", 400.0)
+        assert predicted == pytest.approx(0.996, abs=1e-6)
+
+    def test_flat_series_predicts_constant(self):
+        policy = ProactiveScaling(min_samples=3)
+        policy._samples["g"] = [(0.0, 0.9995), (100.0, 0.9995), (200.0, 0.9995)]
+        assert policy.predict_rt_ttp("g", 10_000.0) == pytest.approx(0.9995)
+
+    def test_unknown_group(self):
+        assert ProactiveScaling().predict_rt_ttp("missing", 0.0) is None
+
+
+class TestTrigger:
+    def test_fires_on_declining_trend_before_violation(self):
+        # RT-TTP still above P but falling fast: proactive fires as soon
+        # as the fitted trend reaches P within the lead time — a reactive
+        # policy would still be idle (every observation is >= P).
+        policy = ProactiveScaling(min_samples=3, lead_time_s=1000.0)
+        series = [(0.0, 1.0), (100.0, 0.9998), (200.0, 0.9996), (300.0, 0.9994)]
+        fired = [policy._should_scale(t, "g", v, 0.999) for t, v in series]
+        assert not any(fired[:2])  # below min_samples: no prediction yet
+        assert any(fired[2:])
+
+    def test_does_not_fire_on_stable_series(self):
+        policy = ProactiveScaling(min_samples=3, lead_time_s=1000.0)
+        fired = [
+            policy._should_scale(t, "g", 0.9995, 0.999)
+            for t in (0.0, 100.0, 200.0, 300.0, 400.0)
+        ]
+        assert not any(fired)
+
+    def test_reacts_when_already_violating(self):
+        policy = ProactiveScaling(min_samples=10)
+        assert policy._should_scale(0.0, "g", 0.99, 0.999)
+
+    def test_spike_susceptibility(self):
+        # The paper's caveat: a sharp drop followed by a sharp rise still
+        # leaves a falling fitted trend, so the proactive policy fires on
+        # a one-off spike a reactive policy would have ridden out.
+        policy = ProactiveScaling(min_samples=4, lead_time_s=50_000.0)
+        series = [(0.0, 1.0), (600.0, 1.0), (1200.0, 0.9992), (1800.0, 0.99985)]
+        fired = [policy._should_scale(t, "g", v, 0.999) for t, v in series]
+        assert fired[-1]  # fires even though RT-TTP is back near 1.0
+
+
+class TestValidation:
+    def test_lead_time_positive(self):
+        with pytest.raises(ScalingError):
+            ProactiveScaling(lead_time_s=0.0)
+
+    def test_min_samples(self):
+        with pytest.raises(ScalingError):
+            ProactiveScaling(min_samples=1)

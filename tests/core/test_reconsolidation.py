@@ -1,0 +1,123 @@
+"""Re-consolidation cycle tests (Chapter 3 / 5.1)."""
+
+import pytest
+
+from repro.core.advisor import DeploymentAdvisor
+from repro.core.service import ThriftyService
+from repro.errors import DeploymentError
+from repro.units import DAY
+from repro.workload.activity import ActivityMatrix
+from repro.workload.composer import MultiTenantLogComposer
+from repro.workload.generator import SessionLogGenerator
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def planned():
+    config = tiny_config(num_tenants=36, seed=17)
+    library = SessionLogGenerator(config, sessions_per_size=3).generate()
+    workload = MultiTenantLogComposer(config, library).compose()
+    advisor = DeploymentAdvisor(config)
+    advice = advisor.plan_from_workload(workload)
+    matrix = ActivityMatrix.from_workload(workload, config.epoch_size_s)
+    return config, workload, advisor, advice, matrix
+
+
+class TestAdvisorReconsolidate:
+    def test_affected_groups_regrouped(self, planned):
+        config, workload, advisor, advice, matrix = planned
+        target = advice.plan.groups[0].group_name
+        result, kept = advisor.reconsolidate(
+            matrix, advice.plan, affected_groups={target}
+        )
+        result.plan.summary()
+        kept_names = {g.group_name for g in kept}
+        assert target not in kept_names
+        # All original tenants are still planned exactly once.
+        planned_ids = {t for g in result.plan for t in g.placement.tenant_ids}
+        original_ids = {t for g in advice.plan for t in g.placement.tenant_ids}
+        assert planned_ids == original_ids
+
+    def test_departed_tenants_removed(self, planned):
+        config, workload, advisor, advice, matrix = planned
+        group = advice.plan.groups[0]
+        victim = group.placement.tenant_ids[0]
+        result, __ = advisor.reconsolidate(
+            matrix, advice.plan, affected_groups=set(), departed=[victim]
+        )
+        planned_ids = {t for g in result.plan for t in g.placement.tenant_ids}
+        assert victim not in planned_ids
+        original_ids = {t for g in advice.plan for t in g.placement.tenant_ids}
+        assert planned_ids == original_ids - {victim}
+
+    def test_departure_pulls_in_whole_group(self, planned):
+        config, workload, advisor, advice, matrix = planned
+        group = advice.plan.groups[0]
+        victim = group.placement.tenant_ids[0]
+        __, kept = advisor.reconsolidate(
+            matrix, advice.plan, affected_groups=set(), departed=[victim]
+        )
+        assert group.group_name not in {g.group_name for g in kept}
+
+    def test_new_groups_satisfy_constraints(self, planned):
+        config, workload, advisor, advice, matrix = planned
+        target = advice.plan.groups[0].group_name
+        result, __ = advisor.reconsolidate(matrix, advice.plan, affected_groups={target})
+        result.grouping.validate()
+        for group in result.plan:
+            assert group.design.num_instances == config.replication_factor
+
+    def test_unknown_group_rejected(self, planned):
+        config, workload, advisor, advice, matrix = planned
+        with pytest.raises(DeploymentError):
+            advisor.reconsolidate(matrix, advice.plan, affected_groups={"nope"})
+
+    def test_empty_pool_rejected(self, planned):
+        config, workload, advisor, advice, matrix = planned
+        group = advice.plan.groups[0]
+        with pytest.raises(DeploymentError):
+            advisor.reconsolidate(
+                matrix,
+                advice.plan,
+                affected_groups={group.group_name},
+                departed=list(group.placement.tenant_ids),
+            )
+
+
+class TestServiceReconsolidate:
+    def _service(self):
+        config = tiny_config(num_tenants=24, seed=19)
+        library = SessionLogGenerator(config, sessions_per_size=3).generate()
+        workload = MultiTenantLogComposer(config, library).compose()
+        service = ThriftyService(config, scaling="disabled")
+        service.deploy(workload)
+        return service
+
+    def test_reconsolidate_after_departure(self):
+        service = self._service()
+        plan = service.advice.plan
+        victim = plan.groups[0].placement.tenant_ids[0]
+        old_groups = set(service.master.deployed_groups())
+        advice = service.reconsolidate(departed=[victim])
+        new_groups = set(service.master.deployed_groups())
+        assert plan.groups[0].group_name not in new_groups
+        assert any(name.startswith("rg1-") for name in new_groups)
+        planned_ids = {t for g in advice.plan for t in g.placement.tenant_ids}
+        assert victim not in planned_ids
+        assert old_groups != new_groups
+
+    def test_extra_groups_forced(self):
+        service = self._service()
+        target = service.advice.plan.groups[0].group_name
+        advice = service.reconsolidate(extra_groups=[target])
+        assert target not in {g.group_name for g in advice.plan}
+
+    def test_nothing_to_do_rejected(self):
+        service = self._service()
+        with pytest.raises(DeploymentError):
+            service.reconsolidate()
+
+    def test_before_deploy_rejected(self):
+        service = ThriftyService(tiny_config())
+        with pytest.raises(DeploymentError):
+            service.reconsolidate(departed=[1])

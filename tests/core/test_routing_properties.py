@@ -1,0 +1,98 @@
+"""Property-based tests on the Algorithm 1 router's invariants.
+
+Random submission/completion interleavings must never break the two
+guarantees routing rests on: a tenant with running queries is always
+routed back to the same instance (tenant exclusivity), and as long as at
+most A tenants are concurrently active, no two tenants ever share an
+instance (Guarantee 1's mechanism).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import TDDRouter
+from repro.mppdb.catalog import TenantData
+from repro.mppdb.instance import MPPDBInstance
+from repro.simulation.engine import Simulator
+
+_NUM_TENANTS = 6
+_NUM_INSTANCES = 3
+
+# A script is a list of (tenant, work, gap-before-submission).
+_SCRIPTS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=_NUM_TENANTS),
+        st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _play(script):
+    sim = Simulator()
+    instances = []
+    for i in range(_NUM_INSTANCES):
+        instance = MPPDBInstance(f"m{i}", 4, sim)
+        for tid in range(1, _NUM_TENANTS + 1):
+            instance.deploy_tenant(TenantData(tenant_id=tid, data_gb=100.0))
+        instance.mark_ready()
+        instances.append(instance)
+    router = TDDRouter(instances)
+    observations = []
+    t = 0.0
+    for tenant, work, gap in script:
+        t += gap
+
+        def _submit(time, _tenant=tenant, _work=work):
+            active_before = {
+                i.name: set(i.active_tenants) for i in instances
+            }
+            chosen = router.route(_tenant)
+            chosen.submit_query(_tenant, _work)
+            observations.append((time, _tenant, chosen.name, active_before))
+
+        sim.schedule(t, _submit)
+    sim.run()
+    return observations
+
+
+class TestRouterInvariants:
+    @given(_SCRIPTS)
+    @settings(max_examples=50, deadline=None)
+    def test_tenant_affinity(self, script):
+        # If the tenant had queries running anywhere at submission time,
+        # the router must have chosen exactly that instance (line 2).
+        for __, tenant, chosen, active_before in _play(script):
+            holding = [name for name, active in active_before.items() if tenant in active]
+            if holding:
+                assert chosen == holding[0]
+                assert len(holding) == 1  # never smeared across instances
+
+    @given(_SCRIPTS)
+    @settings(max_examples=50, deadline=None)
+    def test_no_sharing_while_any_instance_free(self, script):
+        # The router only co-locates two tenants when nothing is free.
+        for __, tenant, chosen, active_before in _play(script):
+            chosen_active = active_before[chosen]
+            if chosen_active and tenant not in chosen_active:
+                # Overflow: every instance must have been busy.
+                assert all(active for active in active_before.values())
+
+    @given(_SCRIPTS)
+    @settings(max_examples=50, deadline=None)
+    def test_overflow_goes_to_tuning_instance(self, script):
+        for __, tenant, chosen, active_before in _play(script):
+            chosen_active = active_before[chosen]
+            if chosen_active and tenant not in chosen_active:
+                assert chosen == "m0"  # MPPDB_0, Algorithm 1 line 10
+
+    @given(_SCRIPTS)
+    @settings(max_examples=50, deadline=None)
+    def test_tuning_instance_preferred_when_free(self, script):
+        # A newly active tenant goes to MPPDB_0 whenever it is free (line 5).
+        for __, tenant, chosen, active_before in _play(script):
+            anywhere = any(tenant in a for a in active_before.values())
+            if not anywhere and not active_before["m0"]:
+                assert chosen == "m0"

@@ -1,0 +1,191 @@
+"""Group runtime replay tests: routing, SLA accounting, Guarantee 1."""
+
+import pytest
+
+from repro.core.deployment import GroupDeployment
+from repro.core.master import DeployedGroup
+from repro.core.runtime import GroupRuntime
+from repro.core.scaling import LightweightScaling
+from repro.core.tdd import design_for_group
+from repro.errors import DeploymentError
+from repro.mppdb.provisioning import Provisioner
+from repro.simulation.engine import Simulator
+from repro.workload.logs import QueryRecord, TenantLog
+from repro.workload.queries import template_by_name
+from repro.workload.tenant import TenantSpec
+
+
+def _deploy(num_tenants=4, nodes=2, num_instances=3, tuning_parallelism=None):
+    sim = Simulator()
+    provisioner = Provisioner(sim)
+    tenants = tuple(
+        TenantSpec(tenant_id=i, nodes_requested=nodes, data_gb=nodes * 100.0)
+        for i in range(1, num_tenants + 1)
+    )
+    design, placement = design_for_group(
+        "tg0", tenants, num_instances=num_instances, tuning_parallelism=tuning_parallelism
+    )
+    instances = tuple(
+        provisioner.provision(
+            parallelism=design.instance_parallelism(i),
+            tenants=[t.as_tenant_data() for t in tenants],
+            name=name,
+            instant=True,
+        )
+        for i, name in enumerate(design.instance_names())
+    )
+    deployed = DeployedGroup(
+        deployment=GroupDeployment(design=design, placement=placement, tenants=tenants),
+        instances=instances,
+    )
+    return sim, provisioner, deployed, tenants
+
+
+def _q1_latency(nodes):
+    return template_by_name("tpch.q1").dedicated_latency_s(nodes * 100.0, nodes)
+
+
+def _log(spec, submits):
+    baseline = _q1_latency(spec.nodes_requested)
+    records = [
+        QueryRecord(submit_time_s=t, latency_s=baseline, template="tpch.q1")
+        for t in submits
+    ]
+    return TenantLog(spec, records)
+
+
+class TestReplayBasics:
+    def test_isolated_tenant_meets_sla_exactly(self):
+        sim, provisioner, deployed, tenants = _deploy()
+        logs = {
+            t.tenant_id: _log(t, [100.0 * t.tenant_id] if t.tenant_id == 1 else [])
+            for t in tenants
+        }
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        report = runtime.run(until=10_000.0)
+        assert report.queries_submitted == 1
+        assert report.queries_completed == 1
+        assert report.sla.fraction_met == 1.0
+        assert report.sla.records[0].normalized == pytest.approx(1.0)
+
+    def test_up_to_a_tenants_meet_sla(self):
+        # Guarantee 1: with A = 3 instances, three concurrently active
+        # tenants each get a dedicated MPPDB and meet their SLA.
+        sim, provisioner, deployed, tenants = _deploy(num_tenants=3)
+        logs = {t.tenant_id: _log(t, [100.0]) for t in tenants}
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        report = runtime.run(until=10_000.0)
+        assert report.queries_completed == 3
+        assert report.sla.fraction_met == 1.0
+        assert report.overflow_queries == 0
+
+    def test_fourth_tenant_overflows_and_violates(self):
+        # A fourth concurrent tenant lands on MPPDB_0 and both tenants
+        # there slow down (the §7.5 50 %/80 % delay scenario).
+        sim, provisioner, deployed, tenants = _deploy(num_tenants=4)
+        logs = {t.tenant_id: _log(t, [100.0]) for t in tenants}
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        report = runtime.run(until=100_000.0)
+        assert report.queries_completed == 4
+        assert report.overflow_queries == 1
+        violations = report.sla.violations()
+        assert len(violations) == 2  # the overflow query and its victim
+        for violation in violations:
+            assert violation.normalized == pytest.approx(2.0)
+
+    def test_oversized_tuning_instance_absorbs_overflow(self):
+        # Chapter 6: with U = 2 n, two concurrent linear queries on
+        # MPPDB_0 still meet the SLA (point C of Figure 1.1b).
+        sim, provisioner, deployed, tenants = _deploy(
+            num_tenants=4, nodes=2, tuning_parallelism=4
+        )
+        logs = {t.tenant_id: _log(t, [100.0]) for t in tenants}
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        report = runtime.run(until=100_000.0)
+        assert report.overflow_queries == 1
+        assert report.sla.fraction_met == 1.0
+
+    def test_sequential_tenants_all_meet_sla(self):
+        # The first consolidation opportunity: non-overlapping tenants
+        # never interfere (xT-SEQ in Figure 1.1a).
+        sim, provisioner, deployed, tenants = _deploy(num_tenants=4)
+        logs = {
+            t.tenant_id: _log(t, [t.tenant_id * 1000.0]) for t in tenants
+        }
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        report = runtime.run(until=100_000.0)
+        assert report.sla.fraction_met == 1.0
+        assert report.overflow_queries == 0
+
+
+class TestMonitoringDuringReplay:
+    def test_rt_ttp_sampled(self):
+        sim, provisioner, deployed, tenants = _deploy()
+        logs = {t.tenant_id: _log(t, [10.0]) for t in tenants}
+        runtime = GroupRuntime(
+            deployed, logs, sim, provisioner, sla_fraction=0.999, monitor_interval_s=100.0
+        )
+        report = runtime.run(until=1000.0)
+        assert len(report.rt_ttp_samples) == 10
+        assert all(0.0 <= v <= 1.0 for __, v in report.rt_ttp_samples)
+
+    def test_monitor_tracks_activity(self):
+        sim, provisioner, deployed, tenants = _deploy(num_tenants=2)
+        logs = {t.tenant_id: _log(t, [0.0]) for t in tenants}
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        runtime.run(until=10_000.0)
+        assert runtime.monitor.max_concurrent(10_000.0, window_s=10_000.0) == 2
+
+
+class TestElasticScalingDuringReplay:
+    def test_over_active_tenant_isolated(self):
+        sim, provisioner, deployed, tenants = _deploy(num_tenants=5)
+        q1 = _q1_latency(2)
+        # Tenant 1 hammers the system; tenants 2-4 are periodically active
+        # together, producing sustained 4-concurrent overlap.
+        logs = {}
+        for t in tenants:
+            if t.tenant_id == 5:
+                submits = []
+            elif t.tenant_id == 1:
+                submits = [i * (q1 + 1.0) for i in range(800)]
+            else:
+                submits = [i * 40.0 for i in range(400)]
+            logs[t.tenant_id] = _log(t, submits)
+        scaling = LightweightScaling(window_s=3600.0, identification_epoch_s=5.0)
+        runtime = GroupRuntime(
+            deployed,
+            logs,
+            sim,
+            provisioner,
+            sla_fraction=0.999,
+            scaling=scaling,
+            monitor_interval_s=300.0,
+        )
+        report = runtime.run(until=40_000.0)
+        assert len(report.scaling_actions) >= 1
+        action = report.scaling_actions[0]
+        assert action.kind == "lightweight"
+        # The busiest tenant is the one isolated.
+        assert 1 in action.over_active
+
+
+class TestValidation:
+    def test_missing_logs_rejected(self):
+        sim, provisioner, deployed, tenants = _deploy()
+        with pytest.raises(DeploymentError):
+            GroupRuntime(deployed, {}, sim, provisioner, sla_fraction=0.999)
+
+    def test_double_schedule_rejected(self):
+        sim, provisioner, deployed, tenants = _deploy()
+        logs = {t.tenant_id: _log(t, []) for t in tenants}
+        runtime = GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.999)
+        runtime.schedule(until=100.0)
+        with pytest.raises(DeploymentError):
+            runtime.schedule(until=100.0)
+
+    def test_bad_sla_fraction_rejected(self):
+        sim, provisioner, deployed, tenants = _deploy()
+        logs = {t.tenant_id: _log(t, []) for t in tenants}
+        with pytest.raises(DeploymentError):
+            GroupRuntime(deployed, logs, sim, provisioner, sla_fraction=0.0)

@@ -1,0 +1,139 @@
+"""Adjustable-security tests (Ch. 8 future work item 2)."""
+
+import pytest
+
+from repro.core.security import (
+    AdjustableSecurityPolicy,
+    SecurityScheme,
+    secure_log,
+)
+from repro.errors import ConfigurationError
+from repro.packing.livbp import LIVBPwFCProblem
+from repro.packing.two_step import two_step_grouping
+from repro.workload.activity import ActivityItem, active_epoch_indices
+from repro.workload.logs import QueryRecord, TenantLog
+from repro.workload.tenant import TenantSpec
+
+
+def _log(tenant_id=1, latency=10.0):
+    spec = TenantSpec(tenant_id=tenant_id, nodes_requested=2, data_gb=200.0)
+    records = [
+        QueryRecord(submit_time_s=100.0 * i, latency_s=latency, template="tpch.q1")
+        for i in range(3)
+    ]
+    return TenantLog(spec, records)
+
+
+class TestPolicy:
+    def test_default_plaintext(self):
+        policy = AdjustableSecurityPolicy()
+        assert policy.scheme_of(42) is SecurityScheme.PLAINTEXT
+        assert policy.overhead_of(42) == 1.0
+
+    def test_assignments(self):
+        policy = AdjustableSecurityPolicy(
+            assignments={1: SecurityScheme.HOMOMORPHIC, 2: SecurityScheme.ONION}
+        )
+        assert policy.scheme_of(1) is SecurityScheme.HOMOMORPHIC
+        assert policy.overhead_of(1) > policy.overhead_of(2) > policy.overhead_of(3)
+
+    def test_overheads_ordered_by_strength(self):
+        policy = AdjustableSecurityPolicy()
+        overheads = [
+            policy.overheads[s]
+            for s in (
+                SecurityScheme.PLAINTEXT,
+                SecurityScheme.DETERMINISTIC,
+                SecurityScheme.ONION,
+                SecurityScheme.HOMOMORPHIC,
+            )
+        ]
+        assert overheads == sorted(overheads)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdjustableSecurityPolicy(overheads={SecurityScheme.PLAINTEXT: 1.0})
+        bad = dict(AdjustableSecurityPolicy().overheads)
+        bad[SecurityScheme.ONION] = 0.5
+        with pytest.raises(ConfigurationError):
+            AdjustableSecurityPolicy(overheads=bad)
+        bad = dict(AdjustableSecurityPolicy().overheads)
+        bad[SecurityScheme.PLAINTEXT] = 1.2
+        with pytest.raises(ConfigurationError):
+            AdjustableSecurityPolicy(overheads=bad)
+
+
+class TestSecureLog:
+    def test_plaintext_is_identity(self):
+        log = _log()
+        assert secure_log(log, AdjustableSecurityPolicy()) is log
+
+    def test_latencies_stretched(self):
+        policy = AdjustableSecurityPolicy(assignments={1: SecurityScheme.ONION})
+        secured = secure_log(_log(latency=10.0), policy)
+        assert all(r.latency_s == pytest.approx(13.0) for r in secured.records)
+        assert all(
+            a.submit_time_s == b.submit_time_s
+            for a, b in zip(secured.records, _log().records)
+        )
+
+    def test_activity_grows_with_security(self):
+        plain = _log(latency=10.0)
+        policy = AdjustableSecurityPolicy(assignments={1: SecurityScheme.HOMOMORPHIC})
+        secured = secure_log(plain, policy)
+        assert secured.total_busy_seconds() > plain.total_busy_seconds()
+
+    def test_sla_neutrality(self):
+        # The stretched latency is both the baseline and (absent cross-
+        # tenant interference) the observed latency -> normalized 1.0.
+        policy = AdjustableSecurityPolicy(assignments={1: SecurityScheme.ONION})
+        secured = secure_log(_log(), policy)
+        for record in secured.records:
+            assert record.latency_s / record.latency_s == 1.0
+
+
+class TestConsolidationCost:
+    def test_stronger_security_consolidates_worse(self):
+        # Ten tenants with adjacent busy blocks; under homomorphic
+        # overhead the blocks stretch into overlap, so fewer fit per
+        # group at R = 1, P = 100 %.
+        def items_with(policy):
+            items = []
+            for tenant_id in range(10):
+                spec = TenantSpec(
+                    tenant_id=tenant_id, nodes_requested=2, data_gb=200.0
+                )
+                log = TenantLog(
+                    spec,
+                    [
+                        QueryRecord(
+                            submit_time_s=tenant_id * 100.0,
+                            latency_s=90.0,
+                            template="tpch.q1",
+                        )
+                    ],
+                )
+                secured = secure_log(log, policy)
+                items.append(
+                    ActivityItem(
+                        tenant_id=tenant_id,
+                        nodes_requested=2,
+                        epochs=active_epoch_indices(secured.busy_intervals(), 10.0),
+                    )
+                )
+            return items
+
+        def effectiveness(policy):
+            problem = LIVBPwFCProblem(
+                items=tuple(items_with(policy)),
+                num_epochs=400,
+                replication_factor=1,
+                sla_fraction=1.0,
+            )
+            return two_step_grouping(problem).consolidation_effectiveness
+
+        plain = effectiveness(AdjustableSecurityPolicy())
+        secured = effectiveness(
+            AdjustableSecurityPolicy(default_scheme=SecurityScheme.HOMOMORPHIC)
+        )
+        assert secured < plain

@@ -1,0 +1,62 @@
+"""Service-level construction of each scaling policy variant."""
+
+import pytest
+
+from repro.core.scaling import (
+    DisabledScaling,
+    LightweightScaling,
+    ProactiveScaling,
+    WholeGroupScaling,
+)
+from repro.core.service import ThriftyService
+from repro.units import HOUR
+from repro.workload.composer import MultiTenantLogComposer
+from repro.workload.generator import SessionLogGenerator
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    config = tiny_config(num_tenants=15, seed=29)
+    library = SessionLogGenerator(config, sessions_per_size=2).generate()
+    return config, MultiTenantLogComposer(config, library).compose()
+
+
+class TestPolicyConstruction:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("lightweight", LightweightScaling),
+            ("proactive", ProactiveScaling),
+            ("whole-group", WholeGroupScaling),
+            ("disabled", DisabledScaling),
+        ],
+    )
+    def test_policy_selected(self, small_workload, name, expected):
+        config, workload = small_workload
+        service = ThriftyService(config, scaling=name)
+        service.deploy(workload)
+        policy = service._make_scaling()
+        assert type(policy) is expected
+
+    def test_history_injected_into_lightweight_family(self, small_workload):
+        config, workload = small_workload
+        for name in ("lightweight", "proactive"):
+            service = ThriftyService(config, scaling=name)
+            service.deploy(workload)
+            policy = service._make_scaling()
+            assert isinstance(policy, LightweightScaling)
+            assert set(policy.historical_fraction) == {
+                t
+                for g in service.advice.plan
+                for t in g.placement.tenant_ids
+            }
+            assert all(0.0 <= v <= 1.0 for v in policy.historical_fraction.values())
+
+    def test_short_replay_with_each_policy(self, small_workload):
+        config, workload = small_workload
+        for name in ("proactive", "whole-group"):
+            service = ThriftyService(config, scaling=name)
+            service.deploy(workload)
+            report = service.replay(until=6 * HOUR)
+            assert report.sla.fraction_met >= 0.0  # completes without error

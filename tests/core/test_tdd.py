@@ -1,0 +1,104 @@
+"""TDD cluster design and tenant placement tests (Ch. 4.1–4.2)."""
+
+import pytest
+
+from repro.core.tdd import ClusterDesign, TenantPlacement, design_for_group
+from repro.errors import DeploymentError
+from repro.workload.tenant import TenantSpec
+
+
+def _tenants(*sizes):
+    return [
+        TenantSpec(tenant_id=i, nodes_requested=n, data_gb=n * 100.0)
+        for i, n in enumerate(sizes, start=1)
+    ]
+
+
+class TestFigure41ToyExample:
+    """The Figure 4.1 walkthrough: 10 tenants, 42 requested nodes."""
+
+    SIZES = (6, 6, 5, 5, 5, 4, 4, 3, 2, 2)
+
+    def test_cluster_design(self):
+        design, placement = design_for_group("tg0", _tenants(*self.SIZES), num_instances=3)
+        assert design.parallelism == 6
+        assert design.tuning_parallelism == 6  # U = n_1 default (§7.2)
+        assert design.total_nodes == 18
+        assert sum(self.SIZES) == 42  # requested before consolidation
+
+    def test_placement_hosts_every_tenant_everywhere(self):
+        __, placement = design_for_group("tg0", _tenants(*self.SIZES), num_instances=3)
+        assert len(placement.tenant_ids) == 10
+        assert placement.replication_factor == 3  # Property 1
+        for tenant_id in placement.tenant_ids:
+            assert placement.instances_of(tenant_id) == placement.instance_names
+
+    def test_instance_names_tuning_first(self):
+        design, __ = design_for_group("tg0", _tenants(*self.SIZES), num_instances=3)
+        assert design.instance_names() == ["tg0/mppdb0", "tg0/mppdb1", "tg0/mppdb2"]
+        assert design.instance_parallelism(0) == design.tuning_parallelism
+
+
+class TestTuningParallelism:
+    def test_custom_u(self):
+        design, __ = design_for_group(
+            "tg0", _tenants(6, 6, 5, 6), num_instances=3, tuning_parallelism=8
+        )
+        assert design.tuning_parallelism == 8
+        assert design.total_nodes == 8 + 2 * 6
+
+    def test_u_below_largest_rejected(self):
+        with pytest.raises(DeploymentError):
+            design_for_group("tg0", _tenants(6, 6), num_instances=2, tuning_parallelism=4)
+
+    def test_u_upper_bound(self):
+        # n_1 <= U <= N - (A-1) n_1; with tenants (6,6,5) and A = 3:
+        # upper bound = 17 - 12 = 5 < 6 -> bound relaxes to n_1 = 6.
+        tenants = _tenants(6, 6, 6, 6)
+        # N = 24, A = 3 -> upper = 24 - 12 = 12.
+        design_for_group("tg0", tenants, num_instances=3, tuning_parallelism=12)
+        with pytest.raises(DeploymentError):
+            design_for_group("tg0", tenants, num_instances=3, tuning_parallelism=13)
+
+    def test_instance_parallelism_by_index(self):
+        design, __ = design_for_group(
+            "tg0", _tenants(4, 4, 4, 4, 4), num_instances=3, tuning_parallelism=6
+        )
+        assert design.instance_parallelism(0) == 6
+        assert design.instance_parallelism(1) == 4
+        assert design.instance_parallelism(2) == 4
+        with pytest.raises(DeploymentError):
+            design.instance_parallelism(3)
+
+
+class TestValidation:
+    def test_empty_group_rejected(self):
+        with pytest.raises(DeploymentError):
+            design_for_group("tg0", [], num_instances=3)
+
+    def test_design_validation(self):
+        with pytest.raises(DeploymentError):
+            ClusterDesign("tg0", num_instances=0, parallelism=4, tuning_parallelism=4)
+        with pytest.raises(DeploymentError):
+            ClusterDesign("tg0", num_instances=3, parallelism=0, tuning_parallelism=4)
+        with pytest.raises(DeploymentError):
+            ClusterDesign("tg0", num_instances=3, parallelism=4, tuning_parallelism=2)
+
+    def test_placement_validation(self):
+        with pytest.raises(DeploymentError):
+            TenantPlacement("tg0", tenant_ids=(), instance_names=("a",))
+        with pytest.raises(DeploymentError):
+            TenantPlacement("tg0", tenant_ids=(1,), instance_names=())
+        with pytest.raises(DeploymentError):
+            TenantPlacement("tg0", tenant_ids=(1, 1), instance_names=("a",))
+
+    def test_unknown_tenant_in_placement(self):
+        __, placement = design_for_group("tg0", _tenants(4), num_instances=2)
+        with pytest.raises(DeploymentError):
+            placement.instances_of(999)
+
+    def test_a_equals_one_allowed(self):
+        # R = 1 means a single MPPDB per group (no replication).
+        design, placement = design_for_group("tg0", _tenants(4, 4), num_instances=1)
+        assert design.total_nodes == 4
+        assert placement.replication_factor == 1

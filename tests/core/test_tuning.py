@@ -1,0 +1,68 @@
+"""Manual tuning tests (Chapter 6)."""
+
+import pytest
+
+from repro.core.tdd import ClusterDesign
+from repro.core.tuning import ManualTuner, recommended_tuning_nodes
+from repro.errors import ConfigurationError
+
+
+class TestRecommendedTuningNodes:
+    def test_no_overflow_keeps_n(self):
+        assert recommended_tuning_nodes(10, overflow_mpl=1) == 10
+
+    def test_linear_queries_need_k_times_n(self):
+        # Fair sharing: k concurrent queries each k x slower; a linear
+        # query on U nodes is U/n faster -> U = k * n.
+        assert recommended_tuning_nodes(10, overflow_mpl=2) == 20
+        assert recommended_tuning_nodes(4, overflow_mpl=3) == 12
+
+    def test_point_c_of_figure_1_1b(self):
+        # Two tenants sharing a 6-node MPPDB still beat their 2-node SLA:
+        # U = 4 <= 6 suffices for MPL 2 at n = 2.
+        assert recommended_tuning_nodes(2, overflow_mpl=2) <= 6
+
+    def test_serial_fraction_needs_more(self):
+        linear = recommended_tuning_nodes(4, overflow_mpl=2)
+        amdahl = recommended_tuning_nodes(4, overflow_mpl=2, serial_fraction=0.05)
+        assert amdahl > linear
+
+    def test_non_linear_queries_may_be_impossible(self):
+        # R4's hard case: with a large serial fraction no U absorbs the
+        # overflow — the future-work divergent design's motivation.
+        with pytest.raises(ConfigurationError):
+            recommended_tuning_nodes(4, overflow_mpl=3, serial_fraction=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommended_tuning_nodes(0, 1)
+        with pytest.raises(ConfigurationError):
+            recommended_tuning_nodes(4, 0)
+        with pytest.raises(ConfigurationError):
+            recommended_tuning_nodes(4, 2, serial_fraction=1.0)
+
+
+class TestManualTuner:
+    def _design(self, u=4):
+        return ClusterDesign("tg0", num_instances=3, parallelism=4, tuning_parallelism=u)
+
+    def test_retune_raises_u(self):
+        tuner = ManualTuner(max_overhead_nodes=8)
+        retuned = tuner.retune(self._design(), overflow_mpl=2)
+        assert retuned.tuning_parallelism == 8
+        assert retuned.parallelism == 4
+        assert retuned.total_nodes == 8 + 2 * 4
+
+    def test_never_lowers_existing_u(self):
+        tuner = ManualTuner(max_overhead_nodes=8)
+        retuned = tuner.retune(self._design(u=10), overflow_mpl=2)
+        assert retuned.tuning_parallelism == 10
+
+    def test_cap_defers_to_elastic_scaling(self):
+        tuner = ManualTuner(max_overhead_nodes=2)
+        with pytest.raises(ConfigurationError):
+            tuner.retune(self._design(), overflow_mpl=3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ManualTuner(max_overhead_nodes=-1)

@@ -1,0 +1,58 @@
+"""Catalog tests: per-tenant private table sets on one instance."""
+
+import pytest
+
+from repro.errors import MPPDBError, TenantNotHostedError
+from repro.mppdb.catalog import Catalog, TenantData
+
+
+class TestTenantData:
+    def test_fields(self):
+        data = TenantData(tenant_id=3, data_gb=200.0, tables=("lineitem",))
+        assert data.tenant_id == 3
+        assert data.tables == ("lineitem",)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MPPDBError):
+            TenantData(tenant_id=1, data_gb=-1.0)
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog()
+        catalog.add(TenantData(tenant_id=1, data_gb=100.0))
+        assert 1 in catalog
+        assert catalog.get(1).data_gb == 100.0
+        assert len(catalog) == 1
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add(TenantData(tenant_id=1, data_gb=100.0))
+        with pytest.raises(MPPDBError):
+            catalog.add(TenantData(tenant_id=1, data_gb=50.0))
+
+    def test_missing_tenant_raises(self):
+        with pytest.raises(TenantNotHostedError):
+            Catalog().get(42)
+
+    def test_remove(self):
+        catalog = Catalog()
+        catalog.add(TenantData(tenant_id=1, data_gb=100.0))
+        removed = catalog.remove(1)
+        assert removed.tenant_id == 1
+        assert 1 not in catalog
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(TenantNotHostedError):
+            Catalog().remove(1)
+
+    def test_total_data(self):
+        catalog = Catalog()
+        catalog.add_all(
+            [
+                TenantData(tenant_id=1, data_gb=100.0),
+                TenantData(tenant_id=2, data_gb=300.0),
+            ]
+        )
+        assert catalog.total_data_gb == 400.0
+        assert catalog.tenant_ids == {1, 2}

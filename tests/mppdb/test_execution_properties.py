@@ -1,0 +1,107 @@
+"""Property-based tests on the processor-sharing execution engine.
+
+These pin down the queueing-theoretic invariants the interference model
+(Figure 1.1) rests on: work conservation, completion-order monotonicity,
+slowdown bounds, and insensitivity of totals to arrival interleaving.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mppdb.execution import ExecutionEngine
+from repro.simulation.engine import Simulator
+
+_WORKS = st.lists(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+_ARRIVALS = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _run_schedule(arrivals_works):
+    """Run a set of (arrival, work) submissions; return the executions."""
+    sim = Simulator()
+    engine = ExecutionEngine(sim)
+    executions = []
+    for i, (arrival, work) in enumerate(sorted(arrivals_works)):
+        sim.schedule(
+            arrival,
+            lambda t, _i=i, _w=work: executions.append(engine.submit(_i, _w)),
+        )
+    sim.run()
+    return executions
+
+
+class TestProcessorSharingProperties:
+    @given(_WORKS)
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation_simultaneous(self, works):
+        # All arriving at t=0: the server is busy until sum(works).
+        executions = _run_schedule([(0.0, w) for w in works])
+        last_finish = max(e.finish_time for e in executions)
+        assert last_finish == pytest.approx(sum(works), rel=1e-9)
+
+    @given(_WORKS, _ARRIVALS)
+    @settings(max_examples=60, deadline=None)
+    def test_slowdown_at_least_one(self, works, arrivals):
+        n = min(len(works), len(arrivals))
+        executions = _run_schedule(list(zip(arrivals[:n], works[:n])))
+        for execution in executions:
+            assert execution.slowdown >= 1.0 - 1e-9
+
+    @given(_WORKS)
+    @settings(max_examples=60, deadline=None)
+    def test_slowdown_bounded_by_concurrency(self, works):
+        # With k simultaneous arrivals, nobody is more than k times slower.
+        executions = _run_schedule([(0.0, w) for w in works])
+        k = len(works)
+        for execution in executions:
+            assert execution.slowdown <= k + 1e-9
+
+    @given(_WORKS)
+    @settings(max_examples=60, deadline=None)
+    def test_simultaneous_arrivals_finish_in_work_order(self, works):
+        # Egalitarian PS with equal arrival times: smaller work finishes
+        # no later than bigger work.
+        executions = _run_schedule([(0.0, w) for w in works])
+        ordered = sorted(executions, key=lambda e: e.work_s)
+        finishes = [e.finish_time for e in ordered]
+        assert all(b >= a - 1e-9 for a, b in zip(finishes, finishes[1:]))
+
+    @given(_WORKS, _ARRIVALS)
+    @settings(max_examples=60, deadline=None)
+    def test_total_busy_time_conserved(self, works, arrivals):
+        # The server is work-conserving: total service delivered equals
+        # total work, so the last completion is at least max(arrival) and
+        # at most max(arrival) + sum(works).
+        n = min(len(works), len(arrivals))
+        pairs = list(zip(arrivals[:n], works[:n]))
+        executions = _run_schedule(pairs)
+        last_finish = max(e.finish_time for e in executions)
+        assert last_finish <= max(a for a, __ in pairs) + sum(w for __, w in pairs) + 1e-6
+        assert last_finish >= max(a + 0 for a, __ in pairs) - 1e-9
+
+    @given(_WORKS)
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_arrivals_have_no_slowdown(self, works):
+        # Arrivals spaced beyond total work never overlap.
+        gap = sum(works) + 1.0
+        pairs = [(i * gap, w) for i, w in enumerate(works)]
+        executions = _run_schedule(pairs)
+        for execution in executions:
+            assert execution.slowdown == pytest.approx(1.0, rel=1e-9)
+
+    @given(_WORKS)
+    @settings(max_examples=40, deadline=None)
+    def test_equal_works_equal_latencies(self, works):
+        work = float(np.mean(works))
+        executions = _run_schedule([(0.0, work) for __ in works])
+        latencies = {round(e.latency_s, 6) for e in executions}
+        assert len(latencies) == 1

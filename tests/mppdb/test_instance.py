@@ -1,0 +1,102 @@
+"""MPPDB instance lifecycle and query admission tests."""
+
+import pytest
+
+from repro.errors import InstanceNotReadyError, MPPDBError, TenantNotHostedError
+from repro.mppdb.catalog import TenantData
+from repro.mppdb.instance import InstanceState, MPPDBInstance
+from repro.simulation.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def _ready_instance(sim, name="mppdb0", parallelism=4, tenants=(1, 2)):
+    instance = MPPDBInstance(name, parallelism, sim)
+    for tid in tenants:
+        instance.deploy_tenant(TenantData(tenant_id=tid, data_gb=100.0))
+    instance.mark_ready()
+    return instance
+
+
+class TestLifecycle:
+    def test_initial_state(self, sim):
+        instance = MPPDBInstance("m0", 4, sim)
+        assert instance.state == InstanceState.PROVISIONING
+        assert not instance.is_ready
+        assert not instance.is_free
+
+    def test_mark_ready(self, sim):
+        instance = MPPDBInstance("m0", 4, sim)
+        instance.mark_ready()
+        assert instance.is_ready
+        assert instance.is_free
+        assert instance.ready_time == 0.0
+
+    def test_double_ready_rejected(self, sim):
+        instance = MPPDBInstance("m0", 4, sim)
+        instance.mark_ready()
+        with pytest.raises(MPPDBError):
+            instance.mark_ready()
+
+    def test_retire(self, sim):
+        instance = _ready_instance(sim)
+        instance.retire()
+        assert instance.state == InstanceState.RETIRED
+        with pytest.raises(InstanceNotReadyError):
+            instance.submit_query(1, 10.0)
+
+    def test_double_retire_rejected(self, sim):
+        instance = _ready_instance(sim)
+        instance.retire()
+        with pytest.raises(MPPDBError):
+            instance.retire()
+
+    def test_invalid_parallelism_rejected(self, sim):
+        with pytest.raises(MPPDBError):
+            MPPDBInstance("m0", 0, sim)
+
+    def test_node_ids_must_match_parallelism(self, sim):
+        with pytest.raises(MPPDBError):
+            MPPDBInstance("m0", 4, sim, node_ids=[1, 2])
+
+
+class TestQueryAdmission:
+    def test_submit_for_hosted_tenant(self, sim):
+        instance = _ready_instance(sim)
+        execution = instance.submit_query(1, 50.0)
+        sim.run()
+        assert execution.latency_s == pytest.approx(50.0)
+
+    def test_unhosted_tenant_rejected(self, sim):
+        instance = _ready_instance(sim, tenants=(1,))
+        with pytest.raises(TenantNotHostedError):
+            instance.submit_query(99, 10.0)
+
+    def test_not_ready_rejected(self, sim):
+        instance = MPPDBInstance("m0", 4, sim)
+        instance.deploy_tenant(TenantData(tenant_id=1, data_gb=100.0))
+        with pytest.raises(InstanceNotReadyError):
+            instance.submit_query(1, 10.0)
+
+    def test_is_free_tracks_engine(self, sim):
+        instance = _ready_instance(sim)
+        assert instance.is_free
+        instance.submit_query(1, 10.0)
+        assert not instance.is_free
+        assert instance.active_tenants == {1}
+        sim.run()
+        assert instance.is_free
+
+    def test_deploy_to_retired_rejected(self, sim):
+        instance = _ready_instance(sim)
+        instance.retire()
+        with pytest.raises(MPPDBError):
+            instance.deploy_tenant(TenantData(tenant_id=9, data_gb=1.0))
+
+    def test_hosts(self, sim):
+        instance = _ready_instance(sim, tenants=(1,))
+        assert instance.hosts(1)
+        assert not instance.hosts(2)

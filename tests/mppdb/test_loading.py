@@ -1,0 +1,74 @@
+"""Load-time model tests against Table 5.1."""
+
+import pytest
+
+from repro.errors import MPPDBError
+from repro.mppdb.loading import LoadTimeModel, PAPER_LOAD_TABLE
+
+
+class TestPaperTable:
+    def test_table_values(self):
+        assert PAPER_LOAD_TABLE[2] == (200.0, 462.0, 10172.0)
+        assert PAPER_LOAD_TABLE[10] == (1024.0, 1779.0, 50446.0)
+
+    def test_startup_fit_within_11_percent(self):
+        model = LoadTimeModel()
+        for nodes, (_gb, startup, _load) in PAPER_LOAD_TABLE.items():
+            predicted = model.startup_seconds(nodes)
+            assert predicted == pytest.approx(startup, rel=0.11)
+
+    def test_bulk_load_fit_within_3_percent(self):
+        model = LoadTimeModel()
+        for nodes, (gb, _startup, load) in PAPER_LOAD_TABLE.items():
+            predicted = model.bulk_load_seconds(gb)
+            assert predicted == pytest.approx(load, rel=0.03)
+
+    def test_load_rate_is_about_1_2_gb_per_minute(self):
+        # §5.1: "a reasonable loading rate (about 1.2GB/min)".
+        model = LoadTimeModel()
+        rate_gb_min = model.load_rate_gb_s() * 60.0
+        assert 1.1 < rate_gb_min < 1.3
+
+    def test_loading_dominates_startup(self):
+        # The motivation for lightweight scaling: data loading dominates.
+        model = LoadTimeModel()
+        for nodes, (gb, _s, _l) in PAPER_LOAD_TABLE.items():
+            assert model.bulk_load_seconds(gb) > 5 * model.startup_seconds(nodes)
+
+    def test_ten_node_1tb_takes_about_14_5_hours(self):
+        # §5.1: "Thrifty needs about 14.5 hours (50446s+1779s)".
+        model = LoadTimeModel()
+        total = model.provision_seconds(10, 1024.0)
+        assert total == pytest.approx(14.5 * 3600, rel=0.05)
+
+
+class TestModelBehaviour:
+    def test_startup_linear_in_nodes(self):
+        model = LoadTimeModel()
+        deltas = [
+            model.startup_seconds(n + 1) - model.startup_seconds(n) for n in range(1, 10)
+        ]
+        assert all(d == pytest.approx(deltas[0]) for d in deltas)
+
+    def test_load_linear_in_data(self):
+        model = LoadTimeModel()
+        assert model.bulk_load_seconds(400.0) == pytest.approx(
+            2 * model.bulk_load_seconds(200.0)
+        )
+
+    def test_serial_loading_slower(self):
+        parallel = LoadTimeModel(parallel_loading=True)
+        serial = LoadTimeModel(parallel_loading=False)
+        assert serial.bulk_load_seconds(100.0) > parallel.bulk_load_seconds(100.0)
+
+    def test_zero_data_loads_instantly(self):
+        assert LoadTimeModel().bulk_load_seconds(0.0) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        model = LoadTimeModel()
+        with pytest.raises(MPPDBError):
+            model.startup_seconds(0)
+        with pytest.raises(MPPDBError):
+            model.bulk_load_seconds(-1.0)
+        with pytest.raises(MPPDBError):
+            LoadTimeModel(parallel_load_rate_gb_s=0.0)

@@ -1,0 +1,116 @@
+"""Provisioner tests: timed startup + bulk load, pool wiring, retirement."""
+
+import pytest
+
+from repro.cluster.pool import MachinePool
+from repro.errors import MPPDBError
+from repro.mppdb.catalog import TenantData
+from repro.mppdb.loading import LoadTimeModel
+from repro.mppdb.provisioning import Provisioner
+from repro.simulation.engine import Simulator
+
+
+def _tenants(*sizes_gb):
+    return [TenantData(tenant_id=i, data_gb=gb) for i, gb in enumerate(sizes_gb)]
+
+
+class TestTimedProvisioning:
+    def test_ready_after_startup_plus_load(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        instance = prov.provision(parallelism=2, tenants=_tenants(100.0, 100.0))
+        assert not instance.is_ready
+        expected = prov.load_model.provision_seconds(2, 200.0)
+        sim.run()
+        assert instance.is_ready
+        assert instance.ready_time == pytest.approx(expected)
+
+    def test_instant_provisioning(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        instance = prov.provision(parallelism=2, tenants=_tenants(100.0), instant=True)
+        assert instance.is_ready
+        assert instance.ready_time == 0.0
+
+    def test_on_ready_callback(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        seen = []
+        prov.provision(
+            parallelism=2,
+            tenants=_tenants(50.0),
+            on_ready=lambda inst, t: seen.append((inst.name, t)),
+        )
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0][1] == pytest.approx(prov.load_model.provision_seconds(2, 50.0))
+
+    def test_on_ready_with_instant(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        seen = []
+        prov.provision(
+            parallelism=2,
+            tenants=_tenants(50.0),
+            instant=True,
+            on_ready=lambda inst, t: seen.append(t),
+        )
+        assert seen == [0.0]
+
+    def test_provision_time_prediction(self):
+        prov = Provisioner(Simulator(), load_model=LoadTimeModel())
+        predicted = prov.provision_time_s(4, _tenants(100.0, 300.0))
+        assert predicted == pytest.approx(
+            LoadTimeModel().provision_seconds(4, 400.0)
+        )
+
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        prov.provision(parallelism=1, tenants=[], name="x", instant=True)
+        with pytest.raises(MPPDBError):
+            prov.provision(parallelism=1, tenants=[], name="x", instant=True)
+
+    def test_generated_names_unique(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        a = prov.provision(parallelism=1, tenants=[], instant=True)
+        b = prov.provision(parallelism=1, tenants=[], instant=True)
+        assert a.name != b.name
+
+    def test_lookup(self):
+        sim = Simulator()
+        prov = Provisioner(sim)
+        instance = prov.provision(parallelism=1, tenants=[], name="m", instant=True)
+        assert prov.get("m") is instance
+        with pytest.raises(MPPDBError):
+            prov.get("missing")
+
+
+class TestPoolIntegration:
+    def test_nodes_allocated_and_running(self):
+        sim = Simulator()
+        pool = MachinePool(8)
+        prov = Provisioner(sim, pool)
+        instance = prov.provision(parallelism=4, tenants=_tenants(100.0))
+        assert len(instance.node_ids) == 4
+        assert pool.in_use_count == 4
+        sim.run()
+        assert all(pool.node(i).state.value == "running" for i in instance.node_ids)
+
+    def test_retire_releases_nodes(self):
+        sim = Simulator()
+        pool = MachinePool(8)
+        prov = Provisioner(sim, pool)
+        instance = prov.provision(parallelism=4, tenants=[], instant=True)
+        prov.retire(instance)
+        assert pool.in_use_count == 0
+        assert instance.state.value == "retired"
+        assert prov.live_instances() == []
+
+    def test_elastic_pool_growth(self):
+        sim = Simulator()
+        pool = MachinePool(2, elastic=True)
+        prov = Provisioner(sim, pool)
+        prov.provision(parallelism=6, tenants=[], instant=True)
+        assert len(pool) == 6

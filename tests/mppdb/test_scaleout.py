@@ -1,0 +1,80 @@
+"""Scale-out curve tests — the Figure 1.1a/c behaviours."""
+
+import pytest
+
+from repro.errors import MPPDBError
+from repro.mppdb.scaleout import AmdahlScaleOut, LinearScaleOut, SublinearScaleOut
+
+
+class TestLinear:
+    def test_perfect_speedup(self):
+        curve = LinearScaleOut()
+        assert curve.latency(100.0, 1) == 100.0
+        assert curve.latency(100.0, 4) == 25.0
+        assert curve.speedup(8) == pytest.approx(8.0)
+
+    def test_figure_1_1a_shape(self):
+        # "Q1 scales out linearly with the number of nodes."
+        curve = LinearScaleOut()
+        speedups = [curve.speedup(n) for n in (1, 2, 4, 8)]
+        assert speedups == [pytest.approx(s) for s in (1.0, 2.0, 4.0, 8.0)]
+
+
+class TestAmdahl:
+    def test_single_node_identity(self):
+        assert AmdahlScaleOut(0.2).latency(100.0, 1) == pytest.approx(100.0)
+
+    def test_speedup_flattens(self):
+        # Figure 1.1c: Q19 does not scale out linearly.
+        curve = AmdahlScaleOut(0.2)
+        assert curve.speedup(2) < 2.0
+        assert curve.speedup(32) < 1.0 / 0.2 + 1e-9
+        # Speedup still grows but with diminishing per-node returns.
+        gains = [curve.speedup(n) for n in range(1, 9)]
+        diffs = [b - a for a, b in zip(gains, gains[1:])]
+        assert all(d > 0 for d in diffs)
+        assert all(later < earlier + 1e-12 for earlier, later in zip(diffs, diffs[1:]))
+
+    def test_serial_fraction_bounds(self):
+        with pytest.raises(MPPDBError):
+            AmdahlScaleOut(-0.1)
+        with pytest.raises(MPPDBError):
+            AmdahlScaleOut(1.1)
+
+    def test_fully_serial_never_speeds_up(self):
+        curve = AmdahlScaleOut(1.0)
+        assert curve.latency(50.0, 64) == pytest.approx(50.0)
+
+
+class TestSublinear:
+    def test_alpha_one_is_linear(self):
+        assert SublinearScaleOut(1.0).latency(100.0, 4) == pytest.approx(25.0)
+
+    def test_alpha_zero_never_scales(self):
+        assert SublinearScaleOut(0.0).latency(100.0, 16) == pytest.approx(100.0)
+
+    def test_between_linear_and_flat(self):
+        sub = SublinearScaleOut(0.7)
+        assert 1.0 < sub.speedup(8) < 8.0
+
+    def test_alpha_bounds(self):
+        with pytest.raises(MPPDBError):
+            SublinearScaleOut(1.5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "curve", [LinearScaleOut(), AmdahlScaleOut(0.2), SublinearScaleOut(0.7)]
+    )
+    def test_bad_inputs_rejected(self, curve):
+        with pytest.raises(MPPDBError):
+            curve.latency(-1.0, 2)
+        with pytest.raises(MPPDBError):
+            curve.latency(10.0, 0)
+
+    @pytest.mark.parametrize(
+        "curve", [LinearScaleOut(), AmdahlScaleOut(0.2), SublinearScaleOut(0.7)]
+    )
+    def test_latency_non_increasing_in_nodes(self, curve):
+        latencies = [curve.latency(100.0, n) for n in range(1, 33)]
+        assert all(b <= a + 1e-12 for a, b in zip(latencies, latencies[1:]))

@@ -1,0 +1,94 @@
+"""Unit tests for DIRECT's internal mechanics (rectangles, selection)."""
+
+import numpy as np
+import pytest
+
+from repro.packing.direct import DirectOptimizer, _Rect
+
+
+def _rect(levels, value):
+    levels = np.asarray(levels, dtype=np.int64)
+    return _Rect(center=np.full(len(levels), 0.5), levels=levels, value=value)
+
+
+class TestRectGeometry:
+    def test_unit_cube_measure(self):
+        # Half-diagonal of the unit square: sqrt(2)/2.
+        rect = _rect([0, 0], 1.0)
+        assert rect.measure() == pytest.approx(np.sqrt(2) / 2)
+
+    def test_trisection_shrinks_measure(self):
+        parent = _rect([0, 0], 1.0)
+        child = _rect([1, 0], 1.0)
+        assert child.measure() < parent.measure()
+
+    def test_max_side_dims(self):
+        rect = _rect([1, 0, 0, 2], 1.0)
+        assert rect.max_side_dims().tolist() == [1, 2]
+
+    def test_all_equal_sides(self):
+        rect = _rect([1, 1], 1.0)
+        assert rect.max_side_dims().tolist() == [0, 1]
+
+
+class TestPotentiallyOptimalSelection:
+    def _select(self, rects, best_value):
+        optimizer = DirectOptimizer(lambda x: 0.0, dims=2)
+        return optimizer._potentially_optimal(rects, best_value)
+
+    def test_single_rect_selected(self):
+        rects = [_rect([0, 0], 5.0)]
+        assert self._select(rects, 5.0) == [0]
+
+    def test_best_per_measure_wins(self):
+        # Two rects of identical measure: only the better value can be
+        # potentially optimal.
+        rects = [_rect([0, 0], 5.0), _rect([0, 0], 3.0)]
+        selected = self._select(rects, 3.0)
+        assert selected == [1]
+
+    def test_largest_rect_always_selected(self):
+        # The largest rectangle anchors the hull regardless of value.
+        rects = [_rect([0, 0], 100.0), _rect([1, 1], 1.0)]
+        selected = self._select(rects, 1.0)
+        assert 0 in selected
+
+    def test_dominated_mid_size_rect_skipped(self):
+        # A mid-measure rect lying above the hull between a better small
+        # and the big anchor is never selected.
+        big = _rect([0, 0], 10.0)       # largest, selected by rule
+        mid = _rect([1, 0], 50.0)       # bad value, above the hull
+        small = _rect([1, 1], 1.0)      # best value
+        selected = self._select([big, mid, small], 1.0)
+        assert 1 not in selected
+
+    def test_hull_includes_improving_small_rect(self):
+        big = _rect([0, 0], 10.0)
+        small = _rect([1, 1], 2.0)
+        selected = self._select([big, small], 2.0)
+        # The small rect can improve on the best value along the hull.
+        assert set(selected) == {0, 1}
+
+
+class TestConvergenceBehaviour:
+    def test_refines_around_minimum(self):
+        # After a run, the best point's rectangle has been trisected more
+        # than average: evaluations cluster near the optimum.
+        target = 0.83
+
+        def f(x):
+            return (x[0] - target) ** 2
+
+        optimizer = DirectOptimizer(f, dims=1)
+        result = optimizer.minimize(max_evals=150)
+        assert abs(result.best_point[0] - target) < 0.02
+
+    def test_deterministic(self):
+        def f(x):
+            return float(np.sin(7 * x[0]) + x[1] ** 2)
+
+        a = DirectOptimizer(f, dims=2).minimize(max_evals=200)
+        b = DirectOptimizer(f, dims=2).minimize(max_evals=200)
+        assert a.best_value == b.best_value
+        assert (a.best_point == b.best_point).all()
+        assert a.evaluations == b.evaluations

@@ -1,0 +1,70 @@
+"""Exact branch-and-bound tests: optimality on tiny instances."""
+
+import pytest
+
+from repro.errors import PackingError
+from repro.packing.exact import exact_grouping
+from repro.packing.ffd import ffd_grouping
+from repro.packing.livbp import LIVBPwFCProblem
+from repro.packing.two_step import two_step_grouping
+from tests.conftest import make_item, paper_example_problem
+
+
+class TestExact:
+    def test_optimal_on_paper_example(self):
+        problem = paper_example_problem()
+        solution = exact_grouping(problem)
+        solution.validate()
+        # Five tenants pack into one group, T1 alone: 2 groups x R=3 x 4
+        # nodes; no feasible single-group solution exists at P = 99 %.
+        assert solution.total_nodes_used == 24
+
+    def test_never_worse_than_heuristics(self):
+        problem = paper_example_problem()
+        exact = exact_grouping(problem)
+        assert exact.total_nodes_used <= two_step_grouping(problem).total_nodes_used
+        assert exact.total_nodes_used <= ffd_grouping(problem).total_nodes_used
+
+    def test_mixed_sizes_beats_homogeneous_split_when_useful(self):
+        # An inactive 8-node tenant and an inactive 2-node tenant: optimal
+        # merges them (cost 3x8), the 2-step's homogeneity splits them
+        # (cost 3x8 + 3x2). The exact solver must find the merge.
+        items = [make_item(1, 8, []), make_item(2, 2, [])]
+        problem = LIVBPwFCProblem(
+            items=tuple(items), num_epochs=10, replication_factor=3, sla_fraction=0.999
+        )
+        exact = exact_grouping(problem)
+        assert exact.total_nodes_used == 24
+        assert two_step_grouping(problem).total_nodes_used == 30
+
+    def test_capacity_forces_split(self):
+        # Two tenants with identical always-on activity at R = 1, P=100 %:
+        # they cannot share a group.
+        items = [make_item(1, 2, list(range(10))), make_item(2, 2, list(range(10)))]
+        problem = LIVBPwFCProblem(
+            items=tuple(items), num_epochs=10, replication_factor=1, sla_fraction=1.0
+        )
+        exact = exact_grouping(problem)
+        assert len(exact.groups) == 2
+
+    def test_size_limit_enforced(self):
+        items = tuple(make_item(i, 2, []) for i in range(20))
+        problem = LIVBPwFCProblem(
+            items=items, num_epochs=10, replication_factor=3, sla_fraction=0.999
+        )
+        with pytest.raises(PackingError):
+            exact_grouping(problem)
+
+    def test_single_tenant(self):
+        problem = LIVBPwFCProblem(
+            items=(make_item(1, 4, [0]),),
+            num_epochs=10,
+            replication_factor=3,
+            sla_fraction=0.999,
+        )
+        solution = exact_grouping(problem)
+        assert len(solution.groups) == 1
+
+    def test_solver_label(self):
+        solution = exact_grouping(paper_example_problem())
+        assert solution.solver == "exact-bb"

@@ -1,0 +1,103 @@
+"""FFD baseline tests."""
+
+import pytest
+
+from repro.errors import PackingError
+from repro.packing.ffd import FFD_SORT_KEYS, ffd_grouping
+from repro.packing.livbp import LIVBPwFCProblem
+from repro.packing.two_step import two_step_grouping
+from tests.conftest import make_item, paper_example_problem
+
+
+class TestFFD:
+    def test_partition_and_feasibility(self, matrix):
+        problem = LIVBPwFCProblem.from_activity_matrix(matrix, 3, 99.9)
+        solution = ffd_grouping(problem)
+        solution.validate()
+
+    def test_decreasing_order(self):
+        # The largest-volume tenant must land in the first bin.
+        items = [
+            make_item(1, 2, [0]),
+            make_item(2, 32, list(range(8))),
+            make_item(3, 4, [1, 2]),
+        ]
+        problem = LIVBPwFCProblem(
+            items=tuple(items), num_epochs=10, replication_factor=3, sla_fraction=0.99
+        )
+        solution = ffd_grouping(problem)
+        assert 2 in solution.groups[0].tenant_ids
+
+    def test_mixes_sizes_unlike_two_step(self):
+        # FFD is size-oblivious: inactive tenants of different sizes land
+        # in one bin, paying for the largest — the structural weakness the
+        # 2-step heuristic fixes.
+        items = [make_item(1, 32, []), make_item(2, 2, []), make_item(3, 2, [])]
+        problem = LIVBPwFCProblem(
+            items=tuple(items), num_epochs=10, replication_factor=3, sla_fraction=0.999
+        )
+        ffd = ffd_grouping(problem)
+        assert len(ffd.groups) == 1
+        assert ffd.total_nodes_used == 3 * 32
+        two_step = two_step_grouping(problem)
+        assert two_step.total_nodes_used == 3 * 32 + 3 * 2
+
+    def test_respects_fuzzy_capacity(self):
+        problem = paper_example_problem(sla_percent=99.0)
+        solution = ffd_grouping(problem)
+        solution.validate()
+        for group in solution.groups:
+            assert group.ttp >= 0.99
+
+    def test_sort_key_variants(self, matrix):
+        problem = LIVBPwFCProblem.from_activity_matrix(matrix, 3, 99.9)
+        for key in FFD_SORT_KEYS:
+            solution = ffd_grouping(problem, sort_key=key)
+            solution.validate()
+            assert solution.solver == f"ffd:{key}"
+
+    def test_unknown_sort_key_rejected(self, matrix):
+        problem = LIVBPwFCProblem.from_activity_matrix(matrix, 3, 99.9)
+        with pytest.raises(PackingError):
+            ffd_grouping(problem, sort_key="nope")
+
+    def test_hard_capacity_variant_is_more_conservative(self, matrix):
+        # The classic-VBP full test (no epoch above R) can only produce
+        # smaller (or equal) bins than the fuzzy test.
+        problem = LIVBPwFCProblem.from_activity_matrix(matrix, 3, 99.9)
+        fuzzy = ffd_grouping(problem, fuzzy=True)
+        hard = ffd_grouping(problem, fuzzy=False)
+        hard.validate()
+        assert hard.solver == "ffd-hard:activity"
+        assert len(hard.groups) >= len(fuzzy.groups)
+        # Hard bins truly never exceed R concurrent actives.
+        for group in hard.groups:
+            assert group.max_concurrent_active <= problem.replication_factor
+
+    def test_size_blind_sorting_is_the_baseline(self):
+        # Paper: FFD "did not take into account ... the largest item" —
+        # the default ordering ignores node counts, so a highly active
+        # small tenant is placed before a quiet huge one.
+        items = [make_item(1, 32, [0]), make_item(2, 2, [1, 2, 3, 4])]
+        problem = LIVBPwFCProblem(
+            items=tuple(items), num_epochs=10, replication_factor=1, sla_fraction=1.0
+        )
+        solution = ffd_grouping(problem)
+        assert 2 in solution.groups[0].tenant_ids
+
+    def test_deterministic(self, matrix):
+        problem = LIVBPwFCProblem.from_activity_matrix(matrix, 3, 99.9)
+        a = ffd_grouping(problem)
+        b = ffd_grouping(problem)
+        assert [g.tenant_ids for g in a.groups] == [g.tenant_ids for g in b.groups]
+
+    def test_single_item(self):
+        problem = LIVBPwFCProblem(
+            items=(make_item(1, 4, [0]),),
+            num_epochs=10,
+            replication_factor=2,
+            sla_fraction=0.999,
+        )
+        solution = ffd_grouping(problem)
+        assert len(solution.groups) == 1
+        assert solution.total_nodes_used == 8

@@ -1,0 +1,156 @@
+"""LIVBPwFC problem / solution container tests."""
+
+import pytest
+
+from repro.errors import PackingError
+from repro.packing.livbp import (
+    GroupingSolution,
+    LIVBPwFCProblem,
+    group_concurrency,
+    group_ttp,
+)
+from tests.conftest import make_item, paper_example_problem
+
+
+class TestGroupMath:
+    def test_concurrency(self):
+        items = [make_item(1, 2, [0, 1]), make_item(2, 2, [1, 2])]
+        assert group_concurrency(items, 4).tolist() == [1, 2, 1, 0]
+
+    def test_ttp_counts_idle_epochs(self):
+        # Epochs with zero active tenants satisfy <= R.
+        items = [make_item(1, 2, [0])]
+        assert group_ttp(items, 10, 1) == 1.0
+
+    def test_ttp_with_violations(self):
+        items = [make_item(i, 2, [0]) for i in range(4)]
+        # Epoch 0 has 4 active > R = 3 -> 9 of 10 epochs ok.
+        assert group_ttp(items, 10, 3) == pytest.approx(0.9)
+
+    def test_paper_fuzzy_capacity_example(self):
+        # Ch.5's worked example: a sum vector with one epoch above R = 3
+        # yields COUNT<=3 = 9 of 10.
+        problem = paper_example_problem()
+        items = [problem.item(i) for i in (1, 2, 3, 4, 5, 6)]
+        assert group_ttp(items, 10, 3) == pytest.approx(0.9)
+
+    def test_ttp_validation(self):
+        with pytest.raises(PackingError):
+            group_ttp([], 0, 3)
+        with pytest.raises(PackingError):
+            group_ttp([], 10, 0)
+
+
+class TestProblem:
+    def test_fits(self):
+        problem = paper_example_problem()
+        assert problem.fits([problem.item(i) for i in (2, 3, 4, 5, 6)])
+        assert not problem.fits([problem.item(i) for i in (1, 2, 3, 4, 5, 6)])
+
+    def test_group_cost(self):
+        problem = paper_example_problem()
+        assert problem.group_cost([problem.item(1)]) == 3 * 4
+
+    def test_empty_group_cost_rejected(self):
+        with pytest.raises(PackingError):
+            paper_example_problem().group_cost([])
+
+    def test_total_nodes(self):
+        assert paper_example_problem().total_nodes_requested() == 24
+
+    def test_item_lookup(self):
+        problem = paper_example_problem()
+        assert problem.item(3).tenant_id == 3
+        with pytest.raises(PackingError):
+            problem.item(42)
+
+    def test_validation(self):
+        items = (make_item(1, 2, [0]),)
+        with pytest.raises(PackingError):
+            LIVBPwFCProblem(items=items, num_epochs=0, replication_factor=3, sla_fraction=0.99)
+        with pytest.raises(PackingError):
+            LIVBPwFCProblem(items=items, num_epochs=10, replication_factor=0, sla_fraction=0.99)
+        with pytest.raises(PackingError):
+            LIVBPwFCProblem(items=items, num_epochs=10, replication_factor=3, sla_fraction=0.0)
+        with pytest.raises(PackingError):
+            LIVBPwFCProblem(
+                items=(make_item(1, 2, [0]), make_item(1, 2, [1])),
+                num_epochs=10,
+                replication_factor=3,
+                sla_fraction=0.99,
+            )
+
+
+class TestGroupingSolution:
+    def test_toy_example_metrics(self):
+        # Figure 4.1: ten tenants, 42 requested nodes, A = 3 groups sized
+        # to the largest (6-node) tenant -> 18 nodes, saving 24.
+        items = [
+            make_item(i, n, [])
+            for i, n in enumerate([6, 6, 5, 5, 5, 4, 4, 3, 2, 2], start=1)
+        ]
+        problem = LIVBPwFCProblem(
+            items=tuple(items), num_epochs=10, replication_factor=3, sla_fraction=0.999
+        )
+        solution = GroupingSolution(problem, [[i for i, __ in enumerate(items, start=1)]])
+        assert problem.total_nodes_requested() == 42
+        assert solution.total_nodes_used == 18
+        assert solution.nodes_saved == 24
+        assert solution.consolidation_effectiveness == pytest.approx(24 / 42)
+        assert solution.average_group_size == 10.0
+
+    def test_audited_group_stats(self):
+        problem = paper_example_problem()
+        solution = GroupingSolution(problem, [[2, 3, 4, 5, 6], [1]])
+        group = solution.group_of(3)
+        assert group.largest_nodes == 4
+        assert group.nodes_used == 12
+        assert group.ttp == 1.0
+        assert group.max_concurrent_active == 3
+        assert solution.group_of(1).tenant_ids == (1,)
+
+    def test_validate_accepts_partition(self):
+        problem = paper_example_problem()
+        GroupingSolution(problem, [[2, 3, 4, 5, 6], [1]]).validate()
+
+    def test_validate_rejects_missing_tenant(self):
+        problem = paper_example_problem()
+        with pytest.raises(PackingError):
+            GroupingSolution(problem, [[2, 3, 4, 5]]).validate()
+
+    def test_validate_rejects_duplicates(self):
+        problem = paper_example_problem()
+        with pytest.raises(PackingError):
+            GroupingSolution(problem, [[1, 2, 3], [3, 4, 5, 6]]).validate()
+
+    def test_validate_rejects_capacity_violation(self):
+        problem = paper_example_problem(sla_percent=99.9)
+        # All six together has TTP 0.9 < 0.999.
+        with pytest.raises(PackingError):
+            GroupingSolution(problem, [[1, 2, 3, 4, 5, 6]]).validate()
+
+    def test_unknown_tenant_in_group_rejected(self):
+        with pytest.raises(PackingError):
+            GroupingSolution(paper_example_problem(), [[99]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PackingError):
+            GroupingSolution(paper_example_problem(), [[]])
+
+    def test_group_of_unknown_tenant(self):
+        solution = GroupingSolution(paper_example_problem(), [[1, 2, 3, 4, 5, 6]])
+        with pytest.raises(PackingError):
+            solution.group_of(42)
+
+    def test_summary_keys(self):
+        solution = GroupingSolution(paper_example_problem(), [[1, 2, 3, 4, 5, 6]])
+        summary = solution.summary()
+        assert set(summary) == {
+            "tenants",
+            "groups",
+            "nodes_requested",
+            "nodes_used",
+            "effectiveness",
+            "avg_group_size",
+            "solve_seconds",
+        }

@@ -1,0 +1,102 @@
+"""MINLP formulation tests (Appendix 9.1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PackingError
+from repro.packing.livbp import LIVBPwFCProblem
+from repro.packing.minlp import MINLPFormulation
+from tests.conftest import make_item, paper_example_problem
+
+
+@pytest.fixture
+def formulation():
+    return MINLPFormulation(paper_example_problem())
+
+
+class TestDimensions:
+    def test_num_groups_is_ceil_t_over_r(self, formulation):
+        # Appendix 9.1: at most ceil(T/R) tenant-groups.
+        assert formulation.num_groups == 2  # ceil(6/3)
+
+    def test_single_tenant_instance(self):
+        problem = LIVBPwFCProblem(
+            items=(make_item(1, 2, [0]),),
+            num_epochs=10,
+            replication_factor=3,
+            sla_fraction=0.999,
+        )
+        assert MINLPFormulation(problem).num_groups == 1
+
+
+class TestObjective:
+    def test_equation_9_1(self, formulation):
+        # One group with all six 4-node tenants: R * max(n_i) = 12.
+        assert formulation.objective([0] * 6) == 12
+        # Two groups: 12 + 12.
+        assert formulation.objective([0, 0, 0, 1, 1, 1]) == 24
+
+    def test_empty_groups_cost_nothing(self, formulation):
+        assert formulation.objective([1] * 6) == 12
+
+    def test_assignment_shape_checked(self, formulation):
+        with pytest.raises(PackingError):
+            formulation.objective([0, 0])
+        with pytest.raises(PackingError):
+            formulation.objective([0, 0, 0, 0, 0, 5])
+
+
+class TestConstraint:
+    def test_feasible_assignment(self, formulation):
+        # Tenants are ordered by problem.items: ids 1..6 -> indices 0..5.
+        # Group {T2..T6} with T1 alone is feasible.
+        assignment = [1, 0, 0, 0, 0, 0]
+        assert formulation.constraint_short_epochs(assignment) == 0
+        evaluation = formulation.evaluate(assignment)
+        assert evaluation.feasible
+        assert evaluation.objective == 24
+
+    def test_infeasible_assignment_counts_shortfall(self, formulation):
+        # All six together: epoch 4 has 4 actives; P = 99 % of 10 epochs
+        # requires 10 ok epochs, only 9 are -> shortfall 1.
+        assignment = [0] * 6
+        assert formulation.constraint_short_epochs(assignment) == 1
+        assert not formulation.evaluate(assignment).feasible
+
+    def test_penalized_combines(self, formulation):
+        feasible = formulation.penalized([1, 0, 0, 0, 0, 0])
+        infeasible = formulation.penalized([0] * 6)
+        assert feasible == 24
+        assert infeasible == 12 + 1000.0
+
+
+class TestDecoding:
+    def test_random_key_decoding(self, formulation):
+        point = np.array([0.1, 0.6, 0.4, 0.9, 0.0, 0.5])
+        decoded = formulation.decode(point)
+        assert decoded.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_boundary_value_clipped(self, formulation):
+        decoded = formulation.decode(np.ones(6))
+        assert decoded.max() == formulation.num_groups - 1
+
+    def test_out_of_box_rejected(self, formulation):
+        with pytest.raises(PackingError):
+            formulation.decode(np.full(6, 1.5))
+
+    def test_continuous_objective(self, formulation):
+        value = formulation.continuous_objective(np.full(6, 0.0))
+        assert value == formulation.penalized([0] * 6)
+
+
+class TestSolutionMaterialization:
+    def test_solution_from_assignment(self, formulation):
+        solution = formulation.solution_from_assignment(
+            [1, 0, 0, 0, 0, 0], solver="test", solve_seconds=0.1
+        )
+        solution.validate()
+        assert solution.total_nodes_used == 24
+
+    def test_penalty_validation(self):
+        with pytest.raises(PackingError):
+            MINLPFormulation(paper_example_problem(), penalty_per_epoch=0.0)

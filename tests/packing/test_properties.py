@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) on the core packing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packing.exact import exact_grouping
+from repro.packing.ffd import ffd_grouping
+from repro.packing.livbp import LIVBPwFCProblem, group_ttp
+from repro.packing.two_step import two_step_grouping
+from tests.conftest import make_item
+
+_NODE_SIZES = (2, 4, 8)
+_D = 24
+
+
+@st.composite
+def problems(draw, max_tenants=10, sla_choices=(0.9, 0.95, 1.0), r_max=3):
+    """Random small LIVBPwFC instances."""
+    count = draw(st.integers(min_value=1, max_value=max_tenants))
+    items = []
+    for tenant_id in range(count):
+        nodes = draw(st.sampled_from(_NODE_SIZES))
+        epochs = draw(
+            st.lists(st.integers(min_value=0, max_value=_D - 1), max_size=_D, unique=True)
+        )
+        items.append(make_item(tenant_id, nodes, sorted(epochs)))
+    return LIVBPwFCProblem(
+        items=tuple(items),
+        num_epochs=_D,
+        replication_factor=draw(st.integers(min_value=1, max_value=r_max)),
+        sla_fraction=draw(st.sampled_from(sla_choices)),
+    )
+
+
+class TestSolverInvariants:
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_two_step_produces_valid_partition(self, problem):
+        two_step_grouping(problem).validate()
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_ffd_produces_valid_partition(self, problem):
+        ffd_grouping(problem).validate()
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_solutions_never_beat_lower_bound(self, problem):
+        # Any solution uses at least R * (largest tenant's nodes) and at
+        # most R * sum(n_i) nodes (each tenant alone).
+        r = problem.replication_factor
+        largest = max(item.nodes_requested for item in problem.items)
+        upper = r * sum(item.nodes_requested for item in problem.items)
+        for solution in (two_step_grouping(problem), ffd_grouping(problem)):
+            assert r * largest <= solution.total_nodes_used <= upper
+
+    @given(problems(max_tenants=7))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_is_lower_bound_for_heuristics(self, problem):
+        optimal = exact_grouping(problem).total_nodes_used
+        assert optimal <= two_step_grouping(problem).total_nodes_used
+        assert optimal <= ffd_grouping(problem).total_nodes_used
+
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_two_step_groups_are_size_homogeneous(self, problem):
+        solution = two_step_grouping(problem)
+        for group in solution.groups:
+            sizes = {problem.item(t).nodes_requested for t in group.tenant_ids}
+            assert len(sizes) == 1
+
+
+class TestTTPInvariants:
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_ttp_monotone_in_r(self, problem):
+        items = list(problem.items)
+        ttps = [group_ttp(items, problem.num_epochs, r) for r in range(1, 6)]
+        assert all(b >= a for a, b in zip(ttps, ttps[1:]))
+
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_ttp_decreases_when_adding_tenants(self, problem):
+        items = list(problem.items)
+        r = problem.replication_factor
+        for k in range(1, len(items) + 1):
+            prefix = items[:k]
+            if k > 1:
+                assert group_ttp(prefix, problem.num_epochs, r) <= group_ttp(
+                    prefix[:-1], problem.num_epochs, r
+                ) + 1e-12
+
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_singleton_always_feasible(self, problem):
+        # R >= 1 means any tenant alone satisfies the fuzzy capacity.
+        for item in problem.items:
+            assert problem.fits([item])
+
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_audited_ttp_matches_recomputation(self, problem):
+        solution = two_step_grouping(problem)
+        for group in solution.groups:
+            items = [problem.item(t) for t in group.tenant_ids]
+            recomputed = group_ttp(items, problem.num_epochs, problem.replication_factor)
+            assert group.ttp == recomputed
+
+
+class TestEpochDiscretizationProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=5000, allow_nan=False),
+                st.floats(min_value=0, max_value=500, allow_nan=False),
+            ),
+            max_size=20,
+        ),
+        st.sampled_from([1.0, 10.0, 30.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_epoch_count_bounds(self, raw_intervals, epoch_size):
+        from repro.workload.activity import active_epoch_indices
+
+        intervals = [(s, s + d) for s, d in raw_intervals]
+        epochs = active_epoch_indices(intervals, epoch_size)
+        assert (np.diff(epochs) > 0).all() if epochs.size > 1 else True
+        # Every interval start's epoch is present; counts bounded by the
+        # total span in epochs.
+        for start, end in intervals:
+            assert int(start // epoch_size) in epochs
+        total_span_epochs = sum(
+            int(np.ceil((end) / epoch_size)) - int(start // epoch_size)
+            for start, end in intervals
+        ) + len(intervals)
+        assert epochs.size <= total_span_epochs

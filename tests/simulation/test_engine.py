@@ -1,0 +1,126 @@
+"""Simulator engine tests: scheduling, run bounds, cancellation, clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.clock import Clock
+from repro.simulation.engine import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_same_time_ok(self):
+        clock = Clock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_no_time_travel(self):
+        clock = Clock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock(-1.0)
+
+
+class TestSimulator:
+    def test_runs_events_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda t: seen.append(("b", t)))
+        sim.schedule(1.0, lambda t: seen.append(("a", t)))
+        fired = sim.run()
+        assert fired == 2
+        assert seen == [("a", 1.0), ("b", 3.0)]
+        assert sim.now == 3.0
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda t: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda t: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10.0, lambda t: sim.schedule_after(5.0, times.append))
+        sim.run()
+        assert times == [15.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda t: None)
+
+    def test_run_until_bound(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append)
+        sim.run(until=2.0)
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda _t: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.pending == 1
+
+    def test_cancellation(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, seen.append)
+        sim.schedule(2.0, seen.append)
+        sim.cancel(handle)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(t):
+            seen.append(t)
+            if t < 5.0:
+                sim.schedule(t + 1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter(t):
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda _t: None)
+        sim.run()
+        assert sim.events_fired == 2

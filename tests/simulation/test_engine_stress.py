@@ -1,0 +1,58 @@
+"""Determinism and scale sanity for the event engine."""
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+
+
+class TestEngineAtScale:
+    def test_ten_thousand_events_in_order(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 1e6, size=10_000)
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(float(t), fired.append)
+        count = sim.run()
+        assert count == 10_000
+        assert fired == sorted(fired)
+
+    def test_cascading_schedules(self):
+        # Each event schedules two more until a depth limit: 2^12 - 1 events.
+        sim = Simulator()
+        counter = [0]
+
+        def spawn(depth):
+            def _cb(t):
+                counter[0] += 1
+                if depth < 11:
+                    sim.schedule_after(1.0, spawn(depth + 1))
+                    sim.schedule_after(2.0, spawn(depth + 1))
+
+            return _cb
+
+        sim.schedule(0.0, spawn(0))
+        sim.run()
+        assert counter[0] == 2**12 - 1
+
+    def test_mass_cancellation(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(float(i), fired.append) for i in range(2_000)]
+        for handle in handles[::2]:
+            sim.cancel(handle)
+        sim.run()
+        assert len(fired) == 1_000
+        assert all(int(t) % 2 == 1 for t in fired)
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            rng = np.random.default_rng(7)
+            sim = Simulator()
+            order = []
+            for i in range(3_000):
+                sim.schedule(float(rng.uniform(0, 100)), lambda t, _i=i: order.append(_i))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

@@ -1,0 +1,142 @@
+"""TimeSeries / StepSeries tests — RT-TTP math depends on these."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.metrics import StepSeries, TimeSeries
+
+
+class TestTimeSeries:
+    def test_add_and_iterate(self):
+        series = TimeSeries()
+        series.add(1.0, 10.0)
+        series.add(2.0, 20.0)
+        assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+        assert len(series) == 2
+
+    def test_order_enforced(self):
+        series = TimeSeries()
+        series.add(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            series.add(4.0, 1.0)
+
+    def test_same_time_allowed(self):
+        series = TimeSeries()
+        series.add(1.0, 1.0)
+        series.add(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_stats(self):
+        series = TimeSeries()
+        for i, v in enumerate([1.0, 3.0, 2.0, 4.0]):
+            series.add(float(i), v)
+        assert series.mean() == pytest.approx(2.5)
+        assert series.max() == 4.0
+        assert series.percentile(50) == 2.0
+        assert series.percentile(100) == 4.0
+        assert series.fraction_above(2.5) == pytest.approx(0.5)
+
+    def test_empty_stats_raise(self):
+        series = TimeSeries()
+        for method in (series.mean, series.max):
+            with pytest.raises(SimulationError):
+                method()
+        with pytest.raises(SimulationError):
+            series.percentile(50)
+        with pytest.raises(SimulationError):
+            series.fraction_above(1.0)
+
+    def test_percentile_bounds(self):
+        series = TimeSeries()
+        series.add(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            series.percentile(101)
+
+    def test_window(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.add(float(t), float(t))
+        windowed = series.window(1.0, 4.0)
+        assert windowed.times == [1.0, 2.0, 3.0]
+
+
+class TestStepSeries:
+    def test_value_at(self):
+        series = StepSeries(0.0)
+        series.set(10.0, 2.0)
+        series.set(20.0, 1.0)
+        assert series.value_at(5.0) == 0.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(15.0) == 2.0
+        assert series.value_at(25.0) == 1.0
+
+    def test_value_before_start_rejected(self):
+        series = StepSeries(0.0, start_time=5.0)
+        with pytest.raises(SimulationError):
+            series.value_at(4.0)
+
+    def test_increment(self):
+        series = StepSeries(0.0)
+        series.increment(1.0)
+        series.increment(2.0)
+        series.increment(3.0, -1.0)
+        assert series.value_at_end() == 1.0
+
+    def test_same_instant_update_overrides(self):
+        series = StepSeries(0.0)
+        series.set(1.0, 5.0)
+        series.set(1.0, 7.0)
+        assert series.value_at(1.0) == 7.0
+
+    def test_order_enforced(self):
+        series = StepSeries(0.0)
+        series.set(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            series.set(4.0, 1.0)
+
+    def test_time_weighted_mean(self):
+        series = StepSeries(0.0)
+        series.set(10.0, 4.0)
+        # [0,10): 0; [10,20): 4 -> mean 2 over [0,20)
+        assert series.time_weighted_mean(0.0, 20.0) == pytest.approx(2.0)
+
+    def test_fraction_time_above(self):
+        series = StepSeries(0.0)
+        series.set(10.0, 4.0)
+        series.set(15.0, 1.0)
+        # above 3: only [10,15) of [0,20) -> 25%
+        assert series.fraction_time_above(3.0, 0.0, 20.0) == pytest.approx(0.25)
+
+    def test_fraction_time_at_most_is_complement(self):
+        series = StepSeries(0.0)
+        series.set(10.0, 4.0)
+        above = series.fraction_time_above(3.0, 0.0, 20.0)
+        at_most = series.fraction_time_at_most(3.0, 0.0, 20.0)
+        assert above + at_most == pytest.approx(1.0)
+
+    def test_rt_ttp_semantics(self):
+        # Concurrency 0 -> 4 tenants during [100, 101) -> 0, R = 3:
+        # one second of violation in a 1000-second window.
+        series = StepSeries(0.0)
+        series.set(100.0, 4.0)
+        series.set(101.0, 0.0)
+        ttp = series.fraction_time_at_most(3.0, 0.0, 1000.0)
+        assert ttp == pytest.approx(0.999)
+
+    def test_max_over(self):
+        series = StepSeries(1.0)
+        series.set(10.0, 5.0)
+        series.set(20.0, 2.0)
+        assert series.max_over(0.0, 30.0) == 5.0
+        assert series.max_over(0.0, 5.0) == 1.0
+        assert series.max_over(25.0, 30.0) == 2.0
+
+    def test_empty_window_rejected(self):
+        series = StepSeries(0.0)
+        with pytest.raises(SimulationError):
+            series.time_weighted_mean(5.0, 5.0)
+
+    def test_window_beyond_last_change_uses_final_value(self):
+        series = StepSeries(0.0)
+        series.set(10.0, 2.0)
+        assert series.time_weighted_mean(20.0, 30.0) == pytest.approx(2.0)

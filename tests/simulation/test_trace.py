@@ -1,0 +1,45 @@
+"""Trace recorder tests."""
+
+from repro.simulation.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_iterate(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "route", tenant=4, instance="tg0/mppdb0")
+        trace.record(2.0, "scale", group="tg0")
+        assert len(trace) == 2
+        kinds = [entry.kind for entry in trace]
+        assert kinds == ["route", "scale"]
+
+    def test_of_kind(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        trace.record(3.0, "a")
+        assert [e.time for e in trace.of_kind("a")] == [1.0, 3.0]
+
+    def test_between(self):
+        trace = TraceRecorder()
+        for t in (1.0, 2.0, 3.0):
+            trace.record(t, "x")
+        assert [e.time for e in trace.between(1.5, 3.0)] == [2.0]
+
+    def test_kinds(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a")
+        trace.record(0.0, "b")
+        assert trace.kinds() == {"a", "b"}
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_str_rendering(self):
+        trace = TraceRecorder()
+        entry = trace.record(12.5, "route", tenant=4)
+        text = str(entry)
+        assert "route" in text
+        assert "tenant=4" in text

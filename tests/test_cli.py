@@ -1,0 +1,71 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.command == "plan"
+        assert args.tenants == 300
+        assert args.replication == 3
+
+    def test_sweep_requires_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "theta"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_replay_scaling_choices(self):
+        args = build_parser().parse_args(["replay", "--scaling", "disabled"])
+        assert args.scaling == "disabled"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--scaling", "magic"])
+
+
+class TestCommands:
+    _FAST = ["--tenants", "30", "--days", "7", "--sessions", "2", "--seed", "5"]
+
+    def test_loadtimes(self, capsys):
+        assert main(["loadtimes"]) == 0
+        out = capsys.readouterr().out
+        assert "2-node / 200GB" in out
+        assert "10-node / 1.0TB" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "effectiveness" in out
+        assert "tenant groups" in out
+
+    def test_plan_with_groups(self, capsys):
+        assert main(["plan", "--groups", *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Per-group detail" in out
+        assert "tg0" in out
+
+    def test_plan_ffd(self, capsys):
+        assert main(["plan", "--grouping", "ffd", *self._FAST]) == 0
+        assert "ffd" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "replication_factor", "1", "2", *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep over replication_factor" in out
+        assert "2step_eff" in out
+
+    def test_replay(self, capsys):
+        assert main(["replay", "--replay-days", "0.5", *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "SLA met" in out
+        assert "queries completed" in out
+
+    def test_repro_error_exits_2(self, capsys):
+        # theta outside (0, 1) raises a ConfigurationError inside the
+        # library; the CLI converts it to exit code 2 with a message.
+        assert main(["sweep", "theta", "2.0", *self._FAST]) == 2
+        assert "error:" in capsys.readouterr().err

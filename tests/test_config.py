@@ -1,0 +1,142 @@
+"""Configuration validation tests (Table 7.1 parameters)."""
+
+import pytest
+
+from repro.config import (
+    DATA_GB_PER_NODE,
+    EvaluationConfig,
+    LogGenerationConfig,
+    PAPER_EPOCH_SIZES,
+    PAPER_NODE_SIZES,
+    PAPER_REPLICATION_FACTORS,
+    PAPER_SLA_LEVELS,
+    PAPER_TENANT_COUNTS,
+    PAPER_THETAS,
+    validate_node_sizes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperConstants:
+    def test_table_7_1_ranges(self):
+        assert PAPER_EPOCH_SIZES == (0.1, 1.0, 10.0, 30.0, 90.0, 600.0, 1800.0)
+        assert PAPER_TENANT_COUNTS == (1000, 5000, 10000)
+        assert PAPER_THETAS == (0.1, 0.2, 0.5, 0.8, 0.99)
+        assert PAPER_REPLICATION_FACTORS == (1, 2, 3, 4)
+        assert PAPER_SLA_LEVELS == (95.0, 99.0, 99.9, 99.99)
+
+    def test_node_size_menu(self):
+        # §7.1: tenants request 2/4/8/16/32-node MPPDBs at 100 GB per node.
+        assert PAPER_NODE_SIZES == (2, 4, 8, 16, 32)
+        assert DATA_GB_PER_NODE == 100.0
+
+
+class TestEvaluationConfig:
+    def test_defaults_match_paper(self):
+        config = EvaluationConfig()
+        assert config.num_tenants == 5000
+        assert config.theta == 0.8
+        assert config.replication_factor == 3
+        assert config.sla_percent == 99.9
+
+    def test_sla_fraction(self):
+        assert EvaluationConfig(sla_percent=99.9).sla_fraction == pytest.approx(0.999)
+
+    def test_data_size_follows_nodes(self):
+        config = EvaluationConfig()
+        assert config.data_gb_for_nodes(2) == 200.0
+        assert config.data_gb_for_nodes(32) == 3200.0
+
+    def test_scaled_override(self):
+        config = EvaluationConfig().scaled(num_tenants=10)
+        assert config.num_tenants == 10
+        assert config.theta == 0.8
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("epoch_size_s", 0.0),
+            ("num_tenants", 0),
+            ("theta", 0.0),
+            ("theta", 1.0),
+            ("replication_factor", 0),
+            ("sla_percent", 0.0),
+            ("sla_percent", 101.0),
+            ("node_sizes", ()),
+            ("node_sizes", (0, 2)),
+            ("node_sizes", (2, 2)),
+            ("data_gb_per_node", 0.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(**{field: value})
+
+    def test_data_for_invalid_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig().data_gb_for_nodes(0)
+
+
+class TestLogGenerationConfig:
+    def test_defaults_match_paper(self):
+        logs = LogGenerationConfig()
+        assert logs.max_users == 5
+        assert logs.max_batch == 10
+        assert logs.min_think_s == 3.0
+        assert logs.max_think_s == 600.0
+        assert logs.session_hours == 3.0
+        assert logs.horizon_days == 30
+        assert logs.tz_offsets_hours == (0, 3, 5, 8, 16, 17, 19)
+
+    def test_horizon_has_spillover_day(self):
+        logs = LogGenerationConfig(horizon_days=7)
+        assert logs.horizon_seconds == 8 * 24 * 3600.0
+
+    def test_north_america_variant(self):
+        assert LogGenerationConfig().north_america_only().tz_offsets_hours == (0, 3)
+
+    def test_no_lunch_variant(self):
+        assert LogGenerationConfig().without_lunch().include_lunch is False
+
+    def test_single_timezone_variant(self):
+        assert LogGenerationConfig().single_timezone().tz_offsets_hours == (0,)
+
+    def test_variants_compose(self):
+        logs = LogGenerationConfig().single_timezone().without_lunch()
+        assert logs.tz_offsets_hours == (0,)
+        assert logs.include_lunch is False
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_users", 0),
+            ("max_batch", 0),
+            ("min_think_s", -1.0),
+            ("session_hours", 0.0),
+            ("horizon_days", 0),
+            ("workdays_per_week", 8),
+            ("holiday_weekdays", -1),
+            ("tz_offsets_hours", ()),
+            ("tz_offsets_hours", (25,)),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            LogGenerationConfig(**{field: value})
+
+    def test_think_range_order_enforced(self):
+        with pytest.raises(ConfigurationError):
+            LogGenerationConfig(min_think_s=100.0, max_think_s=10.0)
+
+
+class TestValidateNodeSizes:
+    def test_sorts_and_dedupes(self):
+        assert validate_node_sizes([8, 2, 4, 2]) == (2, 4, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_node_sizes([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_node_sizes([0, 2])

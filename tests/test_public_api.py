@@ -1,0 +1,45 @@
+"""Public-API integrity: every advertised name exists and is importable."""
+
+import importlib
+
+import pytest
+
+_PACKAGES = [
+    "repro",
+    "repro.simulation",
+    "repro.cluster",
+    "repro.mppdb",
+    "repro.workload",
+    "repro.packing",
+    "repro.core",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", _PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} is advertised but missing"
+
+
+@pytest.mark.parametrize("package_name", _PACKAGES)
+def test_all_names_unique(package_name):
+    package = importlib.import_module(package_name)
+    assert len(set(package.__all__)) == len(package.__all__)
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_classes_have_docstrings():
+    for package_name in _PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"

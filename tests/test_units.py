@@ -1,0 +1,121 @@
+"""Unit-helper tests: epoch arithmetic is the foundation of the grouping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    TB,
+    days,
+    epoch_span,
+    epoch_to_seconds,
+    format_duration,
+    format_size_gb,
+    gb,
+    hours,
+    minutes,
+    num_epochs,
+    seconds_to_epoch,
+    tb,
+)
+
+
+class TestConversions:
+    def test_data_units(self):
+        assert gb(5) == 5.0
+        assert tb(2) == 2 * TB == 2048.0
+
+    def test_time_units(self):
+        assert minutes(2) == 120.0
+        assert hours(1.5) == 1.5 * HOUR == 5400.0
+        assert days(2) == 2 * DAY
+
+    def test_minute_hour_day_relations(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+
+class TestEpochMapping:
+    def test_seconds_to_epoch_floor(self):
+        assert seconds_to_epoch(0.0, 10.0) == 0
+        assert seconds_to_epoch(9.999, 10.0) == 0
+        assert seconds_to_epoch(10.0, 10.0) == 1
+
+    def test_epoch_to_seconds_roundtrip(self):
+        for k in (0, 1, 17, 100):
+            assert seconds_to_epoch(epoch_to_seconds(k, 30.0), 30.0) == k
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seconds_to_epoch(-1.0, 10.0)
+
+    def test_bad_epoch_size_rejected(self):
+        for bad in (0.0, -5.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                seconds_to_epoch(1.0, bad)
+
+    def test_negative_epoch_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            epoch_to_seconds(-1, 10.0)
+
+
+class TestEpochSpan:
+    def test_interval_within_one_epoch(self):
+        assert list(epoch_span(1.0, 4.0, 10.0)) == [0]
+
+    def test_interval_spanning_epochs(self):
+        assert list(epoch_span(5.0, 25.0, 10.0)) == [0, 1, 2]
+
+    def test_boundary_end_excluded(self):
+        # An interval ending exactly at an epoch boundary does not touch
+        # the next epoch.
+        assert list(epoch_span(0.0, 10.0, 10.0)) == [0]
+
+    def test_zero_length_interval_marks_one_epoch(self):
+        assert list(epoch_span(15.0, 15.0, 10.0)) == [1]
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            epoch_span(10.0, 5.0, 10.0)
+
+
+class TestNumEpochs:
+    def test_exact_division(self):
+        assert num_epochs(100.0, 10.0) == 10
+
+    def test_rounds_up(self):
+        assert num_epochs(101.0, 10.0) == 11
+
+    def test_positive_horizon_required(self):
+        with pytest.raises(ConfigurationError):
+            num_epochs(0.0, 10.0)
+
+
+class TestFormatting:
+    def test_duration_seconds(self):
+        assert format_duration(45) == "45s"
+
+    def test_duration_minutes(self):
+        assert format_duration(125) == "2m 05s"
+
+    def test_duration_hours(self):
+        assert format_duration(2 * HOUR + 5 * MINUTE) == "2h 05m"
+
+    def test_duration_days(self):
+        assert format_duration(2 * DAY + 3 * HOUR) == "2d 03h"
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_duration(-1)
+
+    def test_size_gb(self):
+        assert format_size_gb(200) == "200GB"
+
+    def test_size_tb(self):
+        assert format_size_gb(3276.8) == "3.2TB"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_size_gb(-1)

@@ -1,0 +1,80 @@
+"""Composer configuration-variant edge cases."""
+
+import pytest
+
+from repro.units import DAY, HOUR
+from repro.workload.composer import MultiTenantLogComposer
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def shared_library():
+    from repro.workload.generator import SessionLogGenerator
+
+    config = tiny_config(num_tenants=12, seed=23)
+    return config, SessionLogGenerator(config, sessions_per_size=2).generate()
+
+
+class TestNoEveningSession:
+    def test_two_sessions_per_workday(self, shared_library):
+        base, library = shared_library
+        from dataclasses import replace
+
+        config = base.scaled(logs=replace(base.logs, include_evening_session=False))
+        workload = MultiTenantLogComposer(config, library).compose()
+        logs = config.logs
+        workdays = sum(
+            1 for d in range(logs.horizon_days) if d % 7 < logs.workdays_per_week
+        )
+        for tenant_id in workload.tenant_ids[:4]:
+            assert len(workload.picks_of(tenant_id)) == workdays * 2
+
+    def test_less_activity_than_default(self, shared_library):
+        base, library = shared_library
+        from dataclasses import replace
+
+        config = base.scaled(logs=replace(base.logs, include_evening_session=False))
+        with_evening = MultiTenantLogComposer(base, library).compose()
+        without = MultiTenantLogComposer(config, library).compose()
+        tid = with_evening.tenant_ids[0]
+        assert (
+            without.tenant_log(tid).total_busy_seconds()
+            < with_evening.tenant_log(tid).total_busy_seconds()
+        )
+
+
+class TestNoLunchOffsets:
+    def test_afternoon_directly_after_morning(self, shared_library):
+        base, library = shared_library
+        config = base.scaled(logs=base.logs.without_lunch())
+        workload = MultiTenantLogComposer(config, library).compose()
+        tenant = workload.tenants[0]
+        picks = workload.picks_of(tenant.tenant_id)
+        first_day = sorted(p.shift_s for p in picks)[:3]
+        base_offset = tenant.tz_offset_hours * HOUR
+        # Morning at O, afternoon at O+3h (no 2h lunch), evening at O+12h.
+        assert first_day[0] == pytest.approx(base_offset)
+        assert first_day[1] == pytest.approx(base_offset + 3 * HOUR)
+        assert first_day[2] == pytest.approx(base_offset + 12 * HOUR)
+
+
+class TestWeekendOnlyConfig:
+    def test_zero_workdays_means_empty_logs(self, shared_library):
+        base, library = shared_library
+        from dataclasses import replace
+
+        config = base.scaled(logs=replace(base.logs, workdays_per_week=0))
+        workload = MultiTenantLogComposer(config, library).compose()
+        assert all(len(workload.picks_of(t)) == 0 for t in workload.tenant_ids)
+        assert workload.activity_epochs(workload.tenant_ids[0], 60.0).size == 0
+
+
+class TestSevenDayWeek:
+    def test_every_day_active(self, shared_library):
+        base, library = shared_library
+        from dataclasses import replace
+
+        config = base.scaled(logs=replace(base.logs, workdays_per_week=7))
+        workload = MultiTenantLogComposer(config, library).compose()
+        expected = config.logs.horizon_days * 3
+        assert len(workload.picks_of(workload.tenant_ids[0])) == expected

@@ -1,0 +1,64 @@
+"""Zipf tenant-size distribution tests (§7.1 Step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.distributions import sample_node_sizes, zipf_pmf
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        assert zipf_pmf(5, 0.8).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(5, 0.8)
+        assert all(a > b for a, b in zip(pmf, pmf[1:]))
+
+    def test_small_theta_tends_uniform(self):
+        pmf = zipf_pmf(5, 0.01)
+        assert pmf.max() - pmf.min() < 0.02
+
+    def test_large_theta_tends_skew(self):
+        mild = zipf_pmf(5, 0.1)
+        heavy = zipf_pmf(5, 0.99)
+        assert heavy[0] > mild[0]
+        assert heavy[-1] < mild[-1]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_pmf(0, 0.8)
+        with pytest.raises(WorkloadError):
+            zipf_pmf(5, 0.0)
+        with pytest.raises(WorkloadError):
+            zipf_pmf(5, 1.0)
+
+
+class TestSampleNodeSizes:
+    def test_samples_from_menu(self):
+        sizes = sample_node_sizes([2, 4, 8, 16, 32], 1000, 0.8, np.random.default_rng(0))
+        assert set(np.unique(sizes)) <= {2, 4, 8, 16, 32}
+        assert len(sizes) == 1000
+
+    def test_smallest_size_most_common(self):
+        # Figure 5.2 shape: most tenants request the smallest MPPDB.
+        sizes = sample_node_sizes([2, 4, 8, 16, 32], 5000, 0.8, np.random.default_rng(0))
+        counts = {s: int((sizes == s).sum()) for s in (2, 4, 8, 16, 32)}
+        assert counts[2] > counts[4] > counts[8]
+        assert counts[8] >= counts[16] >= counts[32]
+
+    def test_deterministic_given_rng(self):
+        a = sample_node_sizes([2, 4], 50, 0.8, np.random.default_rng(3))
+        b = sample_node_sizes([2, 4], 50, 0.8, np.random.default_rng(3))
+        assert (a == b).all()
+
+    def test_unsorted_menu_rejected(self):
+        with pytest.raises(WorkloadError):
+            sample_node_sizes([4, 2], 10, 0.8, np.random.default_rng(0))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            sample_node_sizes([2, 4], -1, 0.8, np.random.default_rng(0))
+
+    def test_zero_count(self):
+        assert len(sample_node_sizes([2, 4], 0, 0.8, np.random.default_rng(0))) == 0

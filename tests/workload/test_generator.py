@@ -1,0 +1,97 @@
+"""Session library / Step 1 generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import SessionLibrary, SessionLogGenerator
+from tests.conftest import tiny_config
+
+
+class TestSessionLogGenerator:
+    def test_library_covers_all_sizes(self, library, config):
+        assert library.node_sizes == tuple(sorted(config.node_sizes))
+        for size in config.node_sizes:
+            assert len(library.sessions_for(size)) == 4
+
+    def test_sessions_have_paper_shape(self, library, config):
+        for size in config.node_sizes:
+            for session in library.sessions_for(size):
+                assert session.node_size == size
+                assert session.benchmark in ("tpch", "tpcds")
+                assert 1 <= session.num_users <= config.logs.max_users
+                assert session.duration_s == config.logs.session_seconds
+                assert all(
+                    r.submit_time_s < session.duration_s for r in session.records
+                )
+
+    def test_sessions_are_nonempty(self, library):
+        sizes = library.node_sizes
+        assert all(
+            len(session.records) > 0
+            for size in sizes
+            for session in library.sessions_for(size)
+        )
+
+    def test_deterministic(self):
+        config = tiny_config(seed=99)
+        a = SessionLogGenerator(config, sessions_per_size=2).generate()
+        b = SessionLogGenerator(config, sessions_per_size=2).generate()
+        for size in config.node_sizes:
+            ra = a.sessions_for(size)[0].records
+            rb = b.sessions_for(size)[0].records
+            assert [(r.submit_time_s, r.template) for r in ra] == [
+                (r.submit_time_s, r.template) for r in rb
+            ]
+
+    def test_mean_busy_fraction_in_calibrated_band(self, library):
+        # The calibration target: sessions are mostly thinking, not
+        # executing (see the TPC-H module docstring and EXPERIMENTS.md).
+        busy = library.mean_busy_fraction()
+        assert 0.02 < busy < 0.35
+
+    def test_invalid_sessions_per_size(self):
+        with pytest.raises(WorkloadError):
+            SessionLogGenerator(tiny_config(), sessions_per_size=0)
+
+
+class TestSessionLibrary:
+    def test_epoch_indices_cached_and_sorted(self, library, config):
+        size = config.node_sizes[0]
+        a = library.epoch_indices(size, 0, 10.0)
+        b = library.epoch_indices(size, 0, 10.0)
+        assert a is b  # cached
+        assert (np.diff(a) > 0).all()
+
+    def test_epoch_indices_consistent_with_intervals(self, library, config):
+        size = config.node_sizes[0]
+        session = library.session(size, 0)
+        epochs = set(library.epoch_indices(size, 0, 10.0).tolist())
+        for start, end in session.busy_intervals():
+            assert int(start // 10.0) in epochs
+
+    def test_finer_epochs_give_fewer_busy_seconds_estimate(self, library, config):
+        # Epoch inflation: coarse epochs over-count activity, so the
+        # epoch-count x size estimate shrinks as E shrinks.
+        size = config.node_sizes[0]
+        coarse = len(library.epoch_indices(size, 0, 60.0)) * 60.0
+        fine = len(library.epoch_indices(size, 0, 1.0)) * 1.0
+        assert fine <= coarse
+
+    def test_unknown_size_rejected(self, library):
+        with pytest.raises(WorkloadError):
+            library.sessions_for(3)
+
+    def test_bad_index_rejected(self, library, config):
+        with pytest.raises(WorkloadError):
+            library.session(config.node_sizes[0], 999)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(WorkloadError):
+            SessionLibrary({})
+
+    def test_mismatched_sizes_rejected(self, library, config):
+        size = config.node_sizes[0]
+        other = config.node_sizes[1]
+        with pytest.raises(WorkloadError):
+            SessionLibrary({other: library.sessions_for(size)})

@@ -1,0 +1,119 @@
+"""User-session behaviour tests (§7.1 Step 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.queries import QueryTemplate
+from repro.workload.session import SessionConfig, run_user_session
+
+_TEMPLATES = [
+    QueryTemplate("tpch.q1", "tpch", 0.01),
+    QueryTemplate("tpch.q6", "tpch", 0.005),
+]
+
+
+def _work_of(template):
+    return template.dedicated_latency_s(200.0, 2)
+
+
+def _run(num_users=2, seed=0, **config_overrides):
+    config = SessionConfig(duration_s=1800.0, **config_overrides)
+    return run_user_session(
+        num_users=num_users,
+        config=config,
+        templates=_TEMPLATES,
+        work_of=_work_of,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestSessionConfig:
+    def test_paper_defaults(self):
+        config = SessionConfig()
+        assert config.duration_s == 3 * 3600.0
+        assert config.max_batch == 10
+        assert config.min_think_s == 3.0
+        assert config.max_think_s == 600.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("duration_s", 0.0),
+            ("batch_probability", 1.5),
+            ("max_batch", 0),
+            ("min_think_s", -1.0),
+            ("max_initial_stagger_s", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(WorkloadError):
+            SessionConfig(**{field: value})
+
+
+class TestRunUserSession:
+    def test_produces_completed_queries(self):
+        completed, attribution = _run()
+        assert len(completed) > 0
+        assert all(q.finished for q in completed)
+        assert set(attribution) == {q.query_id for q in completed}
+
+    def test_attribution_fields(self):
+        completed, attribution = _run(num_users=3)
+        users = {attribution[q.query_id][0] for q in completed}
+        assert users <= {0, 1, 2}
+        templates = {attribution[q.query_id][1] for q in completed}
+        assert templates <= {"tpch.q1", "tpch.q6"}
+
+    def test_deterministic_given_seed(self):
+        a, __ = _run(seed=5)
+        b, __ = _run(seed=5)
+        assert [(q.submit_time, q.work_s) for q in a] == [
+            (q.submit_time, q.work_s) for q in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a, __ = _run(seed=1)
+        b, __ = _run(seed=2)
+        assert [(q.submit_time, q.work_s) for q in a] != [
+            (q.submit_time, q.work_s) for q in b
+        ]
+
+    def test_batches_share_batch_id(self):
+        completed, attribution = _run(num_users=1, seed=3, batch_probability=1.0)
+        batch_ids = [attribution[q.query_id][2] for q in completed]
+        assert all(b >= 0 for b in batch_ids)
+        # At least one batch has more than one query (max_batch = 10).
+        from collections import Counter
+
+        sizes = Counter(batch_ids)
+        assert max(sizes.values()) > 1
+
+    def test_single_mode_has_no_batch_ids(self):
+        completed, attribution = _run(num_users=1, seed=3, batch_probability=0.0)
+        assert all(attribution[q.query_id][2] == -1 for q in completed)
+
+    def test_no_submissions_after_session_end(self):
+        completed, __ = _run()
+        assert all(q.submit_time < 1800.0 for q in completed)
+
+    def test_think_time_between_user_events(self):
+        # A single user never overlaps its own single queries: each event
+        # waits for completion plus think time.
+        completed, attribution = _run(num_users=1, seed=4, batch_probability=0.0)
+        ordered = sorted(completed, key=lambda q: q.submit_time)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.submit_time >= earlier.finish_time + 3.0 - 1e-9
+
+    def test_multi_user_interference_inflates_latency(self):
+        # With several users on one dedicated engine, some query must
+        # observe slowdown > 1 (this is what makes the collected logs
+        # "real" in the paper's sense).
+        completed, __ = _run(num_users=5, seed=0, max_initial_stagger_s=0.0)
+        assert any(q.slowdown > 1.001 for q in completed)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            run_user_session(0, SessionConfig(), _TEMPLATES, _work_of, np.random.default_rng(0))
+        with pytest.raises(WorkloadError):
+            run_user_session(1, SessionConfig(), [], _work_of, np.random.default_rng(0))

@@ -1,0 +1,42 @@
+"""Tenant descriptor tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.tenant import TenantSpec
+
+
+class TestTenantSpec:
+    def test_fields(self):
+        spec = TenantSpec(tenant_id=7, nodes_requested=4, data_gb=400.0, benchmark="tpcds")
+        assert spec.tenant_id == 7
+        assert spec.nodes_requested == 4
+        assert spec.benchmark == "tpcds"
+
+    def test_as_tenant_data(self):
+        spec = TenantSpec(tenant_id=7, nodes_requested=4, data_gb=400.0)
+        data = spec.as_tenant_data()
+        assert data.tenant_id == 7
+        assert data.data_gb == 400.0
+        assert "lineitem" in data.tables  # TPC-H schema
+
+    def test_tpcds_tables(self):
+        spec = TenantSpec(tenant_id=1, nodes_requested=2, data_gb=200.0, benchmark="tpcds")
+        assert "store_sales" in spec.as_tenant_data().tables
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("tenant_id", -1),
+            ("nodes_requested", 0),
+            ("data_gb", -1.0),
+            ("benchmark", "oracle"),
+            ("max_users", 0),
+            ("tz_offset_hours", 24),
+        ],
+    )
+    def test_validation(self, field, value):
+        kwargs = dict(tenant_id=1, nodes_requested=2, data_gb=200.0)
+        kwargs[field] = value
+        with pytest.raises(WorkloadError):
+            TenantSpec(**kwargs)
