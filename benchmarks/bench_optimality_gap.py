@@ -20,7 +20,7 @@ from repro.packing.exact import exact_grouping
 from repro.packing.ffd import ffd_grouping
 from repro.packing.livbp import LIVBPwFCProblem
 from repro.packing.two_step import two_step_grouping
-from repro.workload.activity import ActivityItem, ActivityMatrix
+from repro.workload.activity import ActivityMatrix
 
 _TINY_TENANTS = 9
 _COARSE_EPOCH = 600.0  # keep DIRECT's evaluation affordable

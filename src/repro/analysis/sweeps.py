@@ -20,7 +20,7 @@ from typing import Callable, Optional, Sequence
 from ..config import EvaluationConfig, LogGenerationConfig
 from ..errors import ReproError
 from ..packing.ffd import ffd_grouping
-from ..packing.livbp import GroupingSolution, LIVBPwFCProblem
+from ..packing.livbp import LIVBPwFCProblem
 from ..packing.two_step import two_step_grouping
 from ..workload.activity import ActivityMatrix, active_tenant_ratio
 from ..workload.composer import ComposedWorkload, MultiTenantLogComposer

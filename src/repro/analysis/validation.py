@@ -103,7 +103,7 @@ def validate_workload(
             f"sampled tenants busy {mean_busy:.1f} h/day on average: queries "
             "are not completing (check template costs vs think times)"
         )
-    if mean_busy == 0.0:
+    if mean_busy <= 0.0:
         warnings.append("sampled tenants are never active")
 
     report = WorkloadReport(

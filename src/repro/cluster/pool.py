@@ -11,7 +11,7 @@ new node", Chapter 4.4).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..errors import CapacityError, ClusterError
 from .node import DEFAULT_NODE_SPEC, Node, NodeSpec, NodeState

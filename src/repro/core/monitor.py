@@ -18,7 +18,6 @@ transitions, using the strong notion of activity) and exposes:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..errors import DeploymentError
 from ..simulation.metrics import StepSeries

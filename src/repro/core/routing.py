@@ -19,12 +19,11 @@ invariant in different ways and show why Algorithm 1's order matters.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from ..errors import RoutingError
 from ..mppdb.instance import MPPDBInstance
+from ..rng import RngFactory
 
 __all__ = [
     "QueryRouter",
@@ -125,7 +124,9 @@ class RandomFreeRouter(QueryRouter):
 
     def __init__(self, instances: Sequence[MPPDBInstance], seed: int = 0) -> None:
         super().__init__(instances)
-        self._rng = np.random.default_rng(seed)
+        # Drawn via the library's seed-derivation scheme so replays are
+        # deterministic and independent of other components' draw counts.
+        self._rng = RngFactory(seed).stream("routing", "random-free")
 
     def _choose(self, tenant_id: int, candidates: list[MPPDBInstance]) -> MPPDBInstance:
         free = [i for i in candidates if i.is_free]

@@ -25,7 +25,7 @@ collection on the tenant's dedicated, exactly-sized MPPDB.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 from ..errors import DeploymentError
 from ..mppdb.execution import QueryExecution
@@ -39,7 +39,7 @@ from ..workload.queries import template_by_name
 from .master import DeployedGroup
 from .monitor import GroupActivityMonitor
 from .routing import QueryRouter, TDDRouter
-from .scaling import DisabledScaling, ScalingPolicy
+from .scaling import DisabledScaling, ScalingAction, ScalingPolicy
 from .sla import SLARecord, SLAReport
 
 __all__ = ["GroupRuntime", "RuntimeReport"]
@@ -85,7 +85,7 @@ class RuntimeReport:
     group_name: str
     sla: SLAReport
     rt_ttp_samples: list[tuple[float, float]]
-    scaling_actions: list
+    scaling_actions: list[ScalingAction]
     queries_submitted: int
     queries_completed: int
     overflow_queries: int
@@ -161,12 +161,12 @@ class GroupRuntime:
         """The group's query router."""
         return self._router
 
-    def _wire_completions(self, instances) -> None:
+    def _wire_completions(self, instances: Sequence[MPPDBInstance]) -> None:
         for instance in instances:
             self._wire_instance(instance)
 
     def _wire_instance(self, instance: MPPDBInstance) -> None:
-        def _done(execution: QueryExecution, _instance=instance) -> None:
+        def _done(execution: QueryExecution, _instance: MPPDBInstance = instance) -> None:
             key = (_instance.name, execution.query_id)
             record = self._inflight.pop(key, None)
             if record is None:
@@ -333,7 +333,7 @@ class GroupRuntime:
                 if record.submit_time_s >= until:
                     continue
 
-                def _cb(time: float, _tenant=tenant_id, _record=record) -> None:
+                def _cb(time: float, _tenant: int = tenant_id, _record: QueryRecord = record) -> None:
                     self._submit(_tenant, _record, time)
 
                 self._sim.schedule(record.submit_time_s, _cb, label="query-submit")

@@ -33,11 +33,13 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ScalingError
+from ..mppdb.instance import MPPDBInstance
 from ..mppdb.provisioning import Provisioner
 from ..packing.livbp import LIVBPwFCProblem
 from ..packing.two_step import _pack_one_initial_group
 from ..simulation.trace import TraceRecorder
 from ..units import DAY, num_epochs
+from ..workload.activity import ActivityItem
 from .master import DeployedGroup
 from .monitor import GroupActivityMonitor
 from .routing import QueryRouter
@@ -148,7 +150,15 @@ class ScalingPolicy(abc.ABC):
 class DisabledScaling(ScalingPolicy):
     """Never scales (Figure 7.7a/b)."""
 
-    def _scale(self, now, group, monitor, router, provisioner, sla_fraction):
+    def _scale(
+        self,
+        now: float,
+        group: DeployedGroup,
+        monitor: GroupActivityMonitor,
+        router: QueryRouter,
+        provisioner: Provisioner,
+        sla_fraction: float,
+    ) -> Optional[ScalingAction]:
         return None
 
 
@@ -188,7 +198,7 @@ class LightweightScaling(ScalingPolicy):
         self.historical_fraction = dict(historical_fraction or {})
         self.over_activity_ratio = float(over_activity_ratio)
 
-    def _deviation_ratio(self, item, window_epochs: int) -> float:
+    def _deviation_ratio(self, item: ActivityItem, window_epochs: int) -> float:
         recent = item.active_epoch_count / max(window_epochs, 1)
         historical = self.historical_fraction.get(item.tenant_id)
         if historical is None or historical <= 0:
@@ -280,7 +290,15 @@ class LightweightScaling(ScalingPolicy):
         keepers = set(groups[0]) if groups else set()
         return [item.tenant_id for item in items if item.tenant_id not in keepers]
 
-    def _scale(self, now, group, monitor, router, provisioner, sla_fraction):
+    def _scale(
+        self,
+        now: float,
+        group: DeployedGroup,
+        monitor: GroupActivityMonitor,
+        router: QueryRouter,
+        provisioner: Provisioner,
+        sla_fraction: float,
+    ) -> Optional[ScalingAction]:
         over_active = self.identify_over_active(now, group, monitor, sla_fraction)
         if not over_active:
             return None
@@ -289,7 +307,7 @@ class LightweightScaling(ScalingPolicy):
         tenant_data = [spec.as_tenant_data() for spec in specs]
         name = f"{group.group_name}/scale{len(self.actions)}"
 
-        def _ready(instance, time):
+        def _ready(instance: MPPDBInstance, time: float) -> None:
             router.add_instance(instance)
             for spec in specs:
                 router.pin_tenant(spec.tenant_id, instance)
@@ -318,13 +336,21 @@ class LightweightScaling(ScalingPolicy):
 class WholeGroupScaling(ScalingPolicy):
     """Pessimistic ablation: add an ``A + 1``-th MPPDB for the whole group."""
 
-    def _scale(self, now, group, monitor, router, provisioner, sla_fraction):
+    def _scale(
+        self,
+        now: float,
+        group: DeployedGroup,
+        monitor: GroupActivityMonitor,
+        router: QueryRouter,
+        provisioner: Provisioner,
+        sla_fraction: float,
+    ) -> Optional[ScalingAction]:
         specs = list(group.deployment.tenants)
         parallelism = group.deployment.design.parallelism
         tenant_data = [spec.as_tenant_data() for spec in specs]
         name = f"{group.group_name}/scale{len(self.actions)}"
 
-        def _ready(instance, time):
+        def _ready(instance: MPPDBInstance, time: float) -> None:
             router.add_instance(instance)
             self._mark_done(group.group_name)
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..errors import ConfigurationError
+from ..units import approx_eq
 from ..workload.logs import QueryRecord, TenantLog
 
 __all__ = ["SecurityScheme", "AdjustableSecurityPolicy", "secure_log"]
@@ -87,7 +88,7 @@ class AdjustableSecurityPolicy:
                     f"overhead for {scheme.value!r} must be >= 1, "
                     f"got {self.overheads[scheme]!r}"
                 )
-        if self.overheads[SecurityScheme.PLAINTEXT] != 1.0:
+        if not approx_eq(self.overheads[SecurityScheme.PLAINTEXT], 1.0):
             raise ConfigurationError("plaintext overhead must be exactly 1.0")
 
     def scheme_of(self, tenant_id: int) -> SecurityScheme:
@@ -109,7 +110,7 @@ def secure_log(log: TenantLog, policy: AdjustableSecurityPolicy) -> TenantLog:
     costs activity (and therefore consolidation), not SLA compliance.
     """
     overhead = policy.overhead_of(log.tenant_id)
-    if overhead == 1.0:
+    if approx_eq(overhead, 1.0):
         return log
     records = [
         QueryRecord(

@@ -37,6 +37,7 @@ from .scaling import (
     DisabledScaling,
     LightweightScaling,
     ProactiveScaling,
+    ScalingAction,
     ScalingPolicy,
     WholeGroupScaling,
 )
@@ -76,9 +77,9 @@ class ServiceReport:
             raise DeploymentError("no requested nodes")
         return 1.0 - self.nodes_used / self.nodes_requested
 
-    def scaling_actions(self) -> list:
+    def scaling_actions(self) -> list[ScalingAction]:
         """Every scaling action across groups, in time order."""
-        actions = []
+        actions: list[ScalingAction] = []
         for report in self.group_reports.values():
             actions.extend(report.scaling_actions)
         return sorted(actions, key=lambda a: a.time)

@@ -24,6 +24,7 @@ __all__ = [
     "RoutingError",
     "DeploymentError",
     "ScalingError",
+    "LintError",
 ]
 
 
@@ -87,3 +88,7 @@ class DeploymentError(ReproError):
 
 class ScalingError(ReproError):
     """Elastic-scaling level failure."""
+
+
+class LintError(ReproError):
+    """The :mod:`repro.tools.lint` static-analysis pass was misused."""

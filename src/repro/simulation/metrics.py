@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from ..errors import SimulationError
 
@@ -161,7 +161,7 @@ class StepSeries:
             raise SimulationError(f"empty window [{start!r}, {end!r})")
         return end - start
 
-    def _integrate(self, start: float, end: float, f) -> float:
+    def _integrate(self, start: float, end: float, f: Callable[[float], float]) -> float:
         if end <= start:
             raise SimulationError(f"empty window [{start!r}, {end!r})")
         total = 0.0

@@ -1,0 +1,12 @@
+"""Developer tooling shipped with the Thrifty reproduction.
+
+Currently this package hosts :mod:`repro.tools.lint`, the domain-aware
+static-analysis pass (``thrifty-lint``) that machine-checks the invariants
+the library's correctness rests on — deterministic replay, the
+:class:`~repro.errors.ReproError` hierarchy, and strict typing of the
+optimization core.
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

@@ -1,0 +1,37 @@
+"""``thrifty-lint`` — domain-aware static analysis for the reproduction.
+
+Run as ``python -m repro.tools.lint src/ benchmarks/ examples/`` or via the
+``thrifty-lint`` console script.  The THR rules live in
+:mod:`repro.tools.lint.rules`; ``docs/STATIC_ANALYSIS.md`` documents the
+invariant behind each one and how to suppress a finding with
+``# thrifty: noqa[THRxxx]``.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    register,
+    rule_codes,
+    select_rules,
+)
+from .runner import check_file, check_paths, collect_files, main
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_codes",
+    "select_rules",
+    "check_file",
+    "check_paths",
+    "collect_files",
+    "main",
+]

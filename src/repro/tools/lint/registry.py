@@ -1,0 +1,167 @@
+"""Rule registry and core datatypes for ``thrifty-lint``.
+
+A rule is a class with a ``code`` (``THR001``…), a one-line ``summary``, and
+a ``check`` method that walks a parsed module and yields
+:class:`Violation` records.  Rules register themselves with the
+:func:`register` decorator so the runner, ``--list-rules``, the docs, and
+the test-suite all share a single source of truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Callable, Iterable, Iterator
+
+from ...errors import LintError
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "rule_codes",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule ``code`` fired at ``path:line:col``."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def format_text(self) -> str:
+        """Render in the conventional ``path:line:col: CODE message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation (``--format json``)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file being checked.
+
+    ``module_parts`` is the dotted path of the file *inside* the ``repro``
+    package (``("core", "routing")`` for ``src/repro/core/routing.py``) and
+    is empty for files outside the package (benchmarks, examples), so rules
+    can scope themselves to the library layers they protect.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def module_parts(self) -> tuple[str, ...]:
+        parts = PurePosixPath(self.path.replace("\\", "/")).parts
+        if "repro" not in parts:
+            return ()
+        tail = parts[parts.index("repro") + 1 :]
+        if not tail:
+            return ()
+        stem = tail[-1]
+        if stem.endswith(".py"):
+            stem = stem[:-3]
+        return tuple(tail[:-1]) + ((stem,) if stem != "__init__" else ())
+
+    def in_repro(self) -> bool:
+        """True when the file lives inside the ``repro`` package."""
+        return "repro" in PurePosixPath(self.path.replace("\\", "/")).parts
+
+    def in_layer(self, *layers: str) -> bool:
+        """True when the file sits under one of the named ``repro`` sub-packages."""
+        parts = self.module_parts
+        return bool(parts) and parts[0] in layers
+
+
+class Rule:
+    """Base class for lint rules; subclasses set ``code``/``summary``."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``ctx``."""
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            code=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by its code)."""
+    if not cls.code:
+        raise LintError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise LintError(f"duplicate rule code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> list[str]:
+    """Sorted registered rule codes."""
+    return sorted(_REGISTRY)
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate the rule registered under ``code``."""
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise LintError(f"unknown rule code {code!r}") from None
+
+
+def select_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """Resolve ``--select``/``--ignore`` against the registry."""
+    codes = set(select) if select else set(rule_codes())
+    unknown = codes - set(rule_codes())
+    if unknown:
+        raise LintError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    if ignore:
+        bad = set(ignore) - set(rule_codes())
+        if bad:
+            raise LintError(f"unknown rule code(s): {', '.join(sorted(bad))}")
+        codes -= set(ignore)
+    return [get_rule(code) for code in sorted(codes)]
+
+
+__all__.append("select_rules")
+
+RuleChecker = Callable[[FileContext], Iterator[Violation]]

@@ -1,0 +1,58 @@
+"""Output formatting for ``thrifty-lint`` (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO
+
+from .registry import Violation
+
+__all__ = ["render_text", "render_json", "render_statistics", "write_report"]
+
+
+def render_text(violations: list[Violation]) -> str:
+    """One ``path:line:col: CODE message`` line per violation."""
+    return "\n".join(v.format_text() for v in violations)
+
+
+def render_json(violations: list[Violation], *, files_checked: int) -> str:
+    """A stable JSON document: summary header plus the violation list."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_statistics(violations: list[Violation]) -> str:
+    """Per-code counts, most frequent first (``--statistics``)."""
+    counts = Counter(v.code for v in violations)
+    return "\n".join(f"{count:6d}  {code}" for code, count in counts.most_common())
+
+
+def write_report(
+    stream: IO[str],
+    violations: list[Violation],
+    *,
+    fmt: str,
+    files_checked: int,
+    statistics: bool = False,
+) -> None:
+    """Write the chosen report shape to ``stream``."""
+    if fmt == "json":
+        stream.write(render_json(violations, files_checked=files_checked) + "\n")
+        return
+    if violations:
+        stream.write(render_text(violations) + "\n")
+    if statistics and violations:
+        stream.write(render_statistics(violations) + "\n")
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        stream.write(f"{len(violations)} violation(s) in {files_checked} {noun} checked\n")
+    else:
+        stream.write(f"clean: 0 violations in {files_checked} {noun} checked\n")

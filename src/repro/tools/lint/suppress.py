@@ -1,0 +1,47 @@
+"""Inline suppression comments: ``# thrifty: noqa[THR001]``.
+
+A violation is suppressed when the physical line it is reported on carries a
+``thrifty: noqa`` comment naming its code (or a blanket ``thrifty: noqa``
+with no bracket, which silences every rule on that line).  Codes may be
+comma-separated: ``# thrifty: noqa[THR001,THR003]``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .registry import Violation
+
+__all__ = ["suppressed_codes", "filter_suppressed"]
+
+_NOQA = re.compile(
+    r"#\s*thrifty:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?",
+    re.IGNORECASE,
+)
+
+#: Sentinel meaning "every code is suppressed on this line".
+ALL_CODES = "*"
+
+
+def suppressed_codes(line: str) -> frozenset[str]:
+    """Codes suppressed by ``line``'s comment; ``{"*"}`` for a blanket noqa."""
+    match = _NOQA.search(line)
+    if match is None:
+        return frozenset()
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset({ALL_CODES})
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
+def filter_suppressed(violations: list[Violation], lines: list[str]) -> list[Violation]:
+    """Drop violations whose source line carries a matching ``thrifty: noqa``."""
+    kept: list[Violation] = []
+    for violation in violations:
+        index = violation.line - 1
+        line = lines[index] if 0 <= index < len(lines) else ""
+        codes = suppressed_codes(line)
+        if ALL_CODES in codes or violation.code in codes:
+            continue
+        kept.append(violation)
+    return kept

@@ -33,9 +33,17 @@ __all__ = [
     "epoch_to_seconds",
     "epoch_span",
     "num_epochs",
+    "REL_TOL",
+    "approx_eq",
+    "approx_ge",
     "format_duration",
     "format_size_gb",
 ]
+
+#: Default relative tolerance for SLA/latency comparisons.  SLA fractions
+#: are ratios of epoch counts and latencies are sums of per-phase float
+#: costs; both accumulate rounding at the 1e-12 scale, far below 1e-9.
+REL_TOL = 1e-9
 
 #: One gigabyte expressed in gigabytes (the library's canonical data unit).
 GB = 1.0
@@ -125,6 +133,22 @@ def num_epochs(horizon: float, epoch_size: float) -> int:
     if horizon <= 0:
         raise ConfigurationError(f"horizon must be positive, got {horizon!r}")
     return int(math.ceil(horizon / epoch_size))
+
+
+def approx_eq(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = 1e-12) -> bool:
+    """``a == b`` up to floating-point noise.
+
+    The THR003 lint rule forbids exact ``==``/``!=`` on SLA percentages,
+    latencies, and other float-valued quantities; this is the sanctioned
+    replacement (a thin wrapper over :func:`math.isclose` with tolerances
+    chosen for the library's second/fraction scales).
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def approx_ge(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = 1e-12) -> bool:
+    """``a >= b`` allowing ``a`` to fall short of ``b`` by float noise only."""
+    return a >= b or approx_eq(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
 
 
 def format_duration(seconds: float) -> str:

@@ -22,7 +22,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..config import EvaluationConfig, LogGenerationConfig
+from ..config import EvaluationConfig
 from ..errors import WorkloadError
 from ..rng import RngFactory
 from .logs import QueryRecord, merge_intervals

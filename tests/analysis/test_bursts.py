@@ -1,6 +1,5 @@
 """Burst detection tests (Ch. 5.1 regular-burst exclusion)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.bursts import (

@@ -1,6 +1,5 @@
 """Deployment Advisor tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.advisor import DeploymentAdvisor, GROUPING_ALGORITHMS

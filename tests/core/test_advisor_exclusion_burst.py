@@ -6,7 +6,6 @@ bursts arrive.  This test wires `repro.analysis.bursts` to the advisor's
 exclusion path the way an operator would.
 """
 
-import pytest
 
 from repro.analysis.bursts import detect_bursts, predict_next_burst
 from repro.core.advisor import DeploymentAdvisor

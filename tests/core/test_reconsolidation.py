@@ -5,7 +5,6 @@ import pytest
 from repro.core.advisor import DeploymentAdvisor
 from repro.core.service import ThriftyService
 from repro.errors import DeploymentError
-from repro.units import DAY
 from repro.workload.activity import ActivityMatrix
 from repro.workload.composer import MultiTenantLogComposer
 from repro.workload.generator import SessionLogGenerator

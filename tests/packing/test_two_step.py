@@ -1,7 +1,6 @@
 """Algorithm 2 tests, including the hand-verified Figure 5.3-style walkthrough."""
 
 import numpy as np
-import pytest
 
 from repro.packing.livbp import LIVBPwFCProblem
 from repro.packing.two_step import initial_groups, two_step_grouping

@@ -10,14 +10,12 @@ import pytest
 
 from repro.cluster.failures import FailureInjector
 from repro.cluster.pool import MachinePool
-from repro.config import EvaluationConfig, LogGenerationConfig
 from repro.core.advisor import DeploymentAdvisor
 from repro.core.master import DeploymentMaster
 from repro.core.routing import TDDRouter
 from repro.core.service import ThriftyService
 from repro.mppdb.provisioning import Provisioner
 from repro.simulation.engine import Simulator
-from repro.units import DAY
 from repro.workload.activity import ActivityMatrix
 from repro.workload.composer import MultiTenantLogComposer
 from repro.workload.generator import SessionLogGenerator

@@ -8,6 +8,8 @@ from repro.units import (
     HOUR,
     MINUTE,
     TB,
+    approx_eq,
+    approx_ge,
     days,
     epoch_span,
     epoch_to_seconds,
@@ -119,3 +121,18 @@ class TestFormatting:
     def test_negative_size_rejected(self):
         with pytest.raises(ConfigurationError):
             format_size_gb(-1)
+
+
+class TestApproxComparisons:
+    def test_approx_eq_absorbs_float_noise(self):
+        assert approx_eq(0.1 + 0.2, 0.3)
+        assert approx_eq(sum([0.999] * 1000) / 1000, 0.999)
+
+    def test_approx_eq_distinguishes_real_differences(self):
+        assert not approx_eq(0.999, 0.9989)
+        assert not approx_eq(1.0, 1.0 + 1e-6)
+
+    def test_approx_ge_tolerates_shortfall_by_noise_only(self):
+        assert approx_ge(0.3, 0.1 + 0.2)
+        assert approx_ge(0.31, 0.3)
+        assert not approx_ge(0.2999, 0.3)

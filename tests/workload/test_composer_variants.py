@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.units import DAY, HOUR
+from repro.units import HOUR
 from repro.workload.composer import MultiTenantLogComposer
 from tests.conftest import tiny_config
 
