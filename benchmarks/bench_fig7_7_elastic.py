@@ -141,6 +141,17 @@ def test_fig7_7_lightweight_elastic_scaling(benchmark, scale):
         )
     )
 
+    # The §7.5 excerpt, straight from the recorded trace: every scaling
+    # entry inside the takeover window, in time order.
+    excerpt = enabled_report.trace.filter(
+        kind="elastic-scaling", start=_TAKEOVER_START, end=_HORIZON
+    )
+    print("Trace excerpt (elastic-scaling entries):")
+    for entry in excerpt:
+        print(f"  {entry}")
+    assert len(excerpt) == len(actions)
+    assert [e.details["policy"] for e in excerpt] == [a.kind for a in actions]
+
     # Panels a/b: without scaling the RT-TTP dives below P and stays low.
     assert disabled_report.scaling_actions == []
     assert disabled_report.rt_ttp_min() < 0.999

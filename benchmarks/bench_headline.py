@@ -14,12 +14,22 @@ fraction of requested nodes actually used.
 
 from __future__ import annotations
 
+import statistics
+import time
+
+import pytest
 from conftest import run_once
 
 from repro.analysis.report import format_table
 from repro.analysis.sweeps import build_workload
+from repro.config import EvaluationConfig, LogGenerationConfig
 from repro.core.advisor import DeploymentAdvisor
+from repro.core.service import ThriftyService
+from repro.obs import MemorySink, Observer
+from repro.units import HOUR
 from repro.workload.activity import ActivityMatrix, active_tenant_ratio
+from repro.workload.composer import MultiTenantLogComposer
+from repro.workload.generator import SessionLogGenerator
 
 
 def test_headline_consolidation(benchmark, scale):
@@ -65,3 +75,97 @@ def test_headline_consolidation(benchmark, scale):
     # and replication is 3x throughout.
     for group in plan:
         assert group.design.num_instances == 3
+
+
+_OBS_REPLAY_HORIZON = 12 * HOUR
+_OBS_REPS = 3
+_GUARD_LOOP = 1_000_000
+
+
+def _replay_seconds(config, workload, observer):
+    """Wall-clock seconds for one instrumented replay (deploy excluded)."""
+    service = ThriftyService(config, observer=observer)
+    service.deploy(workload)
+    t0 = time.perf_counter()
+    service.replay(until=_OBS_REPLAY_HORIZON)
+    return time.perf_counter() - t0
+
+
+def _guard_seconds():
+    """Per-evaluation cost of the ``observer.enabled`` site guard.
+
+    Measured with the loop overhead *included*, so this overestimates what
+    an inlined guard costs inside the replay.
+    """
+    from repro.obs import NULL_OBSERVER
+
+    hits = 0
+    t0 = time.perf_counter()
+    for _ in range(_GUARD_LOOP):
+        if NULL_OBSERVER.enabled:
+            hits += 1
+    elapsed = time.perf_counter() - t0
+    assert hits == 0
+    return elapsed / _GUARD_LOOP
+
+
+def test_headline_obs_overhead(benchmark, obs_mode):
+    """--obs mode: the null-sink instrumentation must be (near) free.
+
+    Replays an identical small scenario with the default null observer and
+    with a fully enabled MemorySink observer, then bounds the null-sink
+    cost *quantitatively*: (guard evaluations the scenario performs) x
+    (measured per-guard cost) must stay under 5 % of the replay's wall
+    time.  The count of guard evaluations is taken from the enabled run's
+    sink — every emission is one guard that evaluated true — doubled for
+    safety (sites that guard without emitting).
+    """
+    if not obs_mode:
+        pytest.skip("observability overhead mode: pass --obs or set REPRO_BENCH_OBS=1")
+
+    config = EvaluationConfig(
+        num_tenants=40, logs=LogGenerationConfig(horizon_days=3, holiday_weekdays=0), seed=5
+    )
+    library = SessionLogGenerator(config, sessions_per_size=3).generate()
+    workload = MultiTenantLogComposer(config, library).compose()
+
+    def experiment():
+        null_times, enabled_times = [], []
+        emissions = 0
+        _replay_seconds(config, workload, observer=None)  # warm-up, untimed
+        for _ in range(_OBS_REPS):
+            null_times.append(_replay_seconds(config, workload, observer=None))
+            obs = Observer(MemorySink())
+            enabled_times.append(_replay_seconds(config, workload, observer=obs))
+            sink = obs.memory_sink()
+            emissions = len(sink.metrics) + len(sink.spans) + len(sink.events)
+        return null_times, enabled_times, emissions, _guard_seconds()
+
+    null_times, enabled_times, emissions, per_guard = run_once(benchmark, experiment)
+    median = statistics.median
+    t_null, t_enabled = median(null_times), median(enabled_times)
+    guard_cost = 2 * emissions * per_guard
+    guard_fraction = guard_cost / t_null
+    print()
+    print(
+        format_table(
+            ["variant", "median_s", "reps_s"],
+            [
+                ["null sink (default)", f"{t_null:.3f}", [f"{t:.3f}" for t in null_times]],
+                ["MemorySink enabled", f"{t_enabled:.3f}", [f"{t:.3f}" for t in enabled_times]],
+            ],
+            title="Observability overhead (identical deterministic replay)",
+        )
+    )
+    print(
+        f"guard: {per_guard * 1e9:.0f} ns/site x {2 * emissions} evaluations "
+        f"= {guard_cost * 1e3:.2f} ms = {guard_fraction:.2%} of the null replay "
+        f"({emissions} emissions when enabled); "
+        f"enabled-observer wall overhead: {t_enabled / t_null - 1.0:+.1%}"
+    )
+    # The 5% gate: the entire null-sink instrumentation budget — every
+    # guard the replay evaluates, at its measured cost — is far below 5%
+    # of the replay, and the disabled run never beats the enabled run's
+    # wall time by more than noise allows.
+    assert guard_fraction < 0.05
+    assert t_null <= t_enabled * 1.10

@@ -19,6 +19,21 @@ import pytest
 
 from repro.analysis.sweeps import BenchScale
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--obs",
+        action="store_true",
+        default=False,
+        help="run the repro.obs instrumentation-overhead bench (bench_headline)",
+    )
+
+
+@pytest.fixture(scope="session")
+def obs_mode(pytestconfig: pytest.Config) -> bool:
+    """Whether the observability-overhead bench was requested."""
+    return bool(pytestconfig.getoption("--obs") or os.environ.get("REPRO_BENCH_OBS"))
+
+
 _PROFILES = {
     "smoke": BenchScale(num_tenants=150, horizon_days=7, holiday_weekdays=0, sessions_per_size=6),
     "default": BenchScale(num_tenants=800, horizon_days=14, holiday_weekdays=1, sessions_per_size=16),

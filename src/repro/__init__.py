@@ -20,9 +20,20 @@ Quickstart::
 
     service = ThriftyService(config)
     advice = service.deploy(workload)
-    print(f"effectiveness: {advice.plan.consolidation_effectiveness:.1%}")
+    effectiveness = advice.plan.consolidation_effectiveness
     report = service.replay(until=24 * 3600.0)
-    print(report.summary())
+    headline = report.summary()  # queries, SLA fraction met, nodes saved
+
+To watch a replay rather than just its outcome, attach an observer and
+export a run report (see ``docs/OBSERVABILITY.md``)::
+
+    from repro.obs import MemorySink, Observer, write_run_report
+
+    observer = Observer(MemorySink())
+    service = ThriftyService(config, observer=observer)
+    service.deploy(workload)
+    service.replay(until=24 * 3600.0)
+    write_run_report("out/", observer, horizon=24 * 3600.0)
 
 Package layout (see DESIGN.md for the full inventory):
 

@@ -10,6 +10,9 @@ Subcommands:
   num_tenants, theta, replication_factor, sla_percent) and print the
   three-panel rows of the §7.3 figures.
 * ``loadtimes`` — print the Table 5.1 startup/bulk-load model.
+* ``obs``     — digest a run-report directory written by
+  ``replay --obs-out`` (headline counters, busiest groups, RT-TTP
+  trajectory, routing decisions, scaling actions).
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .analysis.report import format_table
+from .analysis.report import ascii_series, format_table
 from .analysis.sweeps import (
     GROUPING_HEADERS,
     BenchScale,
@@ -29,6 +32,7 @@ from .config import EvaluationConfig
 from .core.service import ThriftyService
 from .errors import ReproError
 from .mppdb.loading import LoadTimeModel, PAPER_LOAD_TABLE
+from .obs import MemorySink, Observer, load_run_report, write_run_report
 from .units import DAY, format_duration, format_size_gb
 
 __all__ = ["main", "build_parser"]
@@ -66,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="lightweight",
     )
     replay.add_argument("--replay-days", type=float, default=1.0, help="days of logs to replay")
+    replay.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help="export metrics.jsonl / spans.jsonl / summary.json to DIR",
+    )
 
     sweep = sub.add_parser("sweep", help="run a Table 7.1-style parameter sweep")
     add_scale_args(sweep)
@@ -76,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("values", nargs="+", help="parameter values to sweep")
 
     sub.add_parser("loadtimes", help="print the Table 5.1 load-time model")
+
+    obs = sub.add_parser("obs", help="summarize a replay --obs-out run report")
+    obs.add_argument("directory", help="directory written by replay --obs-out")
+    obs.add_argument(
+        "--group",
+        default=None,
+        help="group whose RT-TTP trajectory to plot (default: busiest)",
+    )
+    obs.add_argument("--top", type=int, default=5, help="how many groups to list")
     return parser
 
 
@@ -145,9 +164,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     workload = build_workload(config, args.sessions)
-    service = ThriftyService(config, grouping=args.grouping, scaling=args.scaling)
+    observer = Observer(MemorySink()) if args.obs_out else None
+    service = ThriftyService(
+        config, grouping=args.grouping, scaling=args.scaling, observer=observer
+    )
     service.deploy(workload)
-    report = service.replay(until=args.replay_days * DAY)
+    until = args.replay_days * DAY
+    report = service.replay(until=until)
     sla = report.sla
     print(
         format_table(
@@ -170,6 +193,22 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"over_active={list(action.over_active)} "
             f"loaded={format_size_gb(action.loaded_gb)}"
         )
+    if observer is not None:
+        paths = write_run_report(
+            args.obs_out,
+            observer,
+            horizon=until,
+            simulator_events=service.simulator.event_counts,
+            meta={
+                "command": "replay",
+                "tenants": args.tenants,
+                "replay_days": args.replay_days,
+                "grouping": args.grouping,
+                "scaling": args.scaling,
+                "seed": args.seed,
+            },
+        )
+        print(f"observability report written to {paths.directory}/")
     return 0
 
 
@@ -207,11 +246,99 @@ def _cmd_loadtimes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    report = load_run_report(args.directory)
+    queries = report.summary.get("queries", {})
+    spans = report.summary.get("spans", {})
+    by_status = spans.get("by_status", {})
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["queries submitted", int(queries.get("submitted", 0))],
+                ["queries completed", int(queries.get("completed", 0))],
+                ["overflow queries", int(queries.get("overflow", 0))],
+                ["SLA violations", int(queries.get("sla_violations", 0))],
+                ["spans", spans.get("total", 0)],
+                *[[f"  status {k}", v] for k, v in sorted(by_status.items())],
+                ["scaling actions", len(report.summary.get("scaling_actions", []))],
+            ],
+            title=f"Run report: {report.directory}",
+        )
+    )
+
+    top = report.top_groups(args.top)
+    groups = report.summary.get("groups", {})
+    if top:
+        print()
+        print(
+            format_table(
+                ["group", "submitted", "completed", "violations", "rt_ttp_min"],
+                [
+                    [
+                        name,
+                        int(groups[name].get("queries_submitted", 0)),
+                        int(groups[name].get("queries_completed", 0)),
+                        int(groups[name].get("sla_violations", 0)),
+                        f"{groups[name].get('rt_ttp_min', 1.0):.5f}",
+                    ]
+                    for name, __ in top
+                ],
+                title=f"Top {len(top)} groups by queries submitted",
+            )
+        )
+
+    focus = args.group if args.group is not None else (top[0][0] if top else None)
+    if focus is not None:
+        trajectory = report.rt_ttp_trajectory(focus)
+        if trajectory:
+            print()
+            print(f"RT-TTP trajectory for {focus} ({len(trajectory)} samples):")
+            print(ascii_series([v for __, v in trajectory], label="rt_ttp"))
+            low = min(trajectory, key=lambda tv: tv[1])
+            print(f"  min {low[1]:.5f} at {format_duration(low[0])}")
+
+    routing = report.summary.get("routing_decisions", {})
+    if routing:
+        print()
+        print(
+            format_table(
+                ["outcome", "queries"],
+                [[k, int(v)] for k, v in sorted(routing.items())],
+                title="Routing decisions (Algorithm 1)",
+            )
+        )
+
+    for action in report.summary.get("scaling_actions", []):
+        attrs = action.get("attrs", {})
+        print(
+            f"  scaling at {format_duration(action.get('start', 0.0))}: "
+            f"{attrs.get('policy', '?')} group={attrs.get('group', '?')} "
+            f"over_active={attrs.get('over_active', [])}"
+        )
+
+    profile = report.summary.get("profile", {})
+    if profile:
+        print()
+        print(
+            format_table(
+                ["site", "calls", "wall_s"],
+                [
+                    [name, int(entry.get("calls", 0)), f"{entry.get('wall_s', 0.0):.4f}"]
+                    for name, entry in sorted(profile.items())
+                ],
+                title="Profile (wall clock)",
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "replay": _cmd_replay,
     "sweep": _cmd_sweep,
     "loadtimes": _cmd_loadtimes,
+    "obs": _cmd_obs,
 }
 
 

@@ -18,12 +18,16 @@ transitions, using the strong notion of activity) and exposes:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import DeploymentError
 from ..simulation.metrics import StepSeries
 from ..units import DAY
 from ..workload.activity import ActivityItem, active_epoch_indices
 from ..workload.logs import merge_intervals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.observer import Observer
 
 __all__ = ["GroupActivityMonitor", "TenantActivityMonitor"]
 
@@ -43,11 +47,23 @@ class GroupActivityMonitor:
         self._nodes_of: dict[int, int] = {}
         self._excluded: set[int] = set()
         self._start_time = start_time
+        self._observer: Optional["Observer"] = None
 
     @property
     def concurrency(self) -> StepSeries:
         """The concurrent-active-tenant signal."""
         return self._concurrency
+
+    def observe_with(self, observer: "Observer") -> None:
+        """Mirror every concurrency change onto the observer's gauge."""
+        self._observer = observer
+
+    def _sample_concurrency(self, time: float) -> None:
+        observer = self._observer
+        if observer is not None and observer.enabled:
+            observer.concurrent_active.labels(group=self.group_name).set(
+                time, self._concurrency.value_at_end()
+            )
 
     def register_tenant(self, tenant_id: int, nodes_requested: int) -> None:
         """Declare a tenant of this group (needed for activity items)."""
@@ -72,6 +88,7 @@ class GroupActivityMonitor:
             started = self._open_since.pop(tenant_id)
             self._closed[tenant_id].append((started, time))
             self._concurrency.increment(time, -1.0)
+            self._sample_concurrency(time)
 
     @property
     def excluded_tenants(self) -> set[int]:
@@ -89,6 +106,7 @@ class GroupActivityMonitor:
         if count == 0:
             self._open_since[tenant_id] = time
             self._concurrency.increment(time, 1.0)
+            self._sample_concurrency(time)
 
     def on_query_finish(self, tenant_id: int, time: float) -> None:
         """A query of the tenant finished."""
@@ -102,6 +120,7 @@ class GroupActivityMonitor:
             started = self._open_since.pop(tenant_id)
             self._closed[tenant_id].append((started, time))
             self._concurrency.increment(time, -1.0)
+            self._sample_concurrency(time)
         else:
             self._running[tenant_id] = count - 1
 
@@ -168,6 +187,13 @@ class TenantActivityMonitor:
         self._replication_factor = replication_factor
         self._start_time = start_time
         self._groups: dict[str, GroupActivityMonitor] = {}
+        self._observer: Optional["Observer"] = None
+
+    def observe_with(self, observer: "Observer") -> None:
+        """Attach an observer to all current and future group monitors."""
+        self._observer = observer
+        for monitor in self._groups.values():
+            monitor.observe_with(observer)
 
     def group(self, group_name: str) -> GroupActivityMonitor:
         """Get (or lazily create) a group's monitor."""
@@ -176,6 +202,8 @@ class TenantActivityMonitor:
             monitor = GroupActivityMonitor(
                 group_name, self._replication_factor, self._start_time
             )
+            if self._observer is not None:
+                monitor.observe_with(self._observer)
             self._groups[group_name] = monitor
         return monitor
 

@@ -23,6 +23,7 @@ from typing import Sequence
 
 from ..errors import RoutingError
 from ..mppdb.instance import MPPDBInstance
+from ..obs.profiling import profiled
 from ..rng import RngFactory
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "RandomFreeRouter",
     "RoundRobinRouter",
     "AlwaysTuningRouter",
+    "classify_decision",
 ]
 
 
@@ -82,6 +84,7 @@ class QueryRouter(abc.ABC):
         """Current pin map (copy)."""
         return dict(self._pinned)
 
+    @profiled("core.routing.route")
     def route(self, tenant_id: int) -> MPPDBInstance:
         """Choose the instance a new query of ``tenant_id`` should run on."""
         pinned = self._pinned.get(tenant_id)
@@ -155,6 +158,25 @@ class AlwaysTuningRouter(QueryRouter):
         if candidates[0] is self.tuning_instance:
             return candidates[0]
         return candidates[0]
+
+
+def classify_decision(
+    router: QueryRouter, tenant_id: int, instance: MPPDBInstance
+) -> str:
+    """Name the Algorithm 1 branch that produced a routing decision.
+
+    Must be called *before* the query is submitted (the checks read the
+    pre-submit busy/active state the router itself saw).  Outcomes:
+    ``pinned``, ``tenant-affinity``, ``tuning-free``, ``free`` and
+    ``overflow`` (the all-busy fall-through onto ``MPPDB_0``).
+    """
+    if router.pinned_tenants.get(tenant_id) is instance:
+        return "pinned"
+    if tenant_id in instance.active_tenants:
+        return "tenant-affinity"
+    if instance.is_free:
+        return "tuning-free" if instance is router.tuning_instance else "free"
+    return "overflow"
 
 
 ROUTER_POLICIES = {

@@ -31,6 +31,8 @@ from ..errors import DeploymentError
 from ..mppdb.execution import QueryExecution
 from ..mppdb.instance import MPPDBInstance
 from ..mppdb.provisioning import Provisioner
+from ..obs.observer import NULL_OBSERVER, Observer
+from ..obs.tracing import STATUS_INFLIGHT, Span
 from ..simulation.engine import Simulator
 from ..simulation.trace import TraceRecorder
 from ..units import MINUTE
@@ -38,7 +40,7 @@ from ..workload.logs import QueryRecord, TenantLog
 from ..workload.queries import template_by_name
 from .master import DeployedGroup
 from .monitor import GroupActivityMonitor
-from .routing import QueryRouter, TDDRouter
+from .routing import QueryRouter, TDDRouter, classify_decision
 from .scaling import DisabledScaling, ScalingAction, ScalingPolicy
 from .sla import SLARecord, SLAReport
 
@@ -114,6 +116,7 @@ class GroupRuntime:
         monitor_interval_s: float = 10 * MINUTE,
         trace: Optional[TraceRecorder] = None,
         closed_loop: bool = False,
+        observer: Optional[Observer] = None,
     ) -> None:
         if not (0 < sla_fraction <= 1):
             raise DeploymentError("sla_fraction must be in (0, 1]")
@@ -150,6 +153,13 @@ class GroupRuntime:
         self._closed_loop = bool(closed_loop)
         # Closed-loop bookkeeping: record identity -> its event chain.
         self._record_chain: dict[int, "_ClosedLoopChain"] = {}
+        self._observer = observer if observer is not None else NULL_OBSERVER
+        # Query-lifecycle spans, keyed like _record_chain by record identity.
+        self._record_span: dict[int, Span] = {}
+        if self._observer.enabled:
+            self._monitor.observe_with(self._observer)
+            for instance in self._wired:
+                instance.engine.observe_with(self._observer, instance.name)
 
     @property
     def monitor(self) -> GroupActivityMonitor:
@@ -173,17 +183,17 @@ class GroupRuntime:
                 return
             self._completed += 1
             self._monitor.on_query_finish(execution.tenant_id, execution.finish_time)
-            self._sla_records.append(
-                SLARecord(
-                    tenant_id=execution.tenant_id,
-                    group_name=self._deployed.group_name,
-                    instance_name=_instance.name,
-                    template=record.template,
-                    submit_time_s=record.submit_time_s,
-                    baseline_latency_s=record.latency_s,
-                    observed_latency_s=execution.latency_s,
-                )
+            sla_record = SLARecord(
+                tenant_id=execution.tenant_id,
+                group_name=self._deployed.group_name,
+                instance_name=_instance.name,
+                template=record.template,
+                submit_time_s=record.submit_time_s,
+                baseline_latency_s=record.latency_s,
+                observed_latency_s=execution.latency_s,
             )
+            self._sla_records.append(sla_record)
+            self._observe_completion(record, sla_record, execution.finish_time)
             self._on_record_complete(record, execution.finish_time)
 
         instance.engine.on_complete(_done)
@@ -194,6 +204,27 @@ class GroupRuntime:
         if instance not in self._wired:
             self._wire_instance(instance)
             self._wired.add(instance)
+            if self._observer.enabled:
+                instance.engine.observe_with(self._observer, instance.name)
+        observer = self._observer
+        span: Optional[Span] = None
+        if observer.enabled:
+            # Classify and trace against the pre-submit state the router saw.
+            group = self._deployed.group_name
+            outcome = classify_decision(self._router, tenant_id, instance)
+            observer.queries_submitted.labels(group=group).inc(time)
+            observer.routing_decisions.labels(group=group, outcome=outcome).inc(time)
+            span = observer.tracer.start_span(
+                "query",
+                time,
+                kind="query",
+                group=group,
+                tenant=tenant_id,
+                template=record.template,
+            )
+            span.add_event(time, "submit")
+            span.add_event(time, "route", instance=instance.name, outcome=outcome)
+            self._record_span[id(record)] = span
         if instance is self._router.tuning_instance and instance.engine.busy and (
             tenant_id not in instance.active_tenants
         ):
@@ -204,6 +235,8 @@ class GroupRuntime:
                 tenant=tenant_id,
                 concurrency=instance.engine.concurrency,
             )
+            if observer.enabled:
+                observer.queries_overflow.labels(group=self._deployed.group_name).inc(time)
         template = template_by_name(record.template)
         work = (
             template.dedicated_latency_s(spec.data_gb, instance.parallelism)
@@ -211,22 +244,31 @@ class GroupRuntime:
         )
         self._monitor.on_query_start(tenant_id, time)
         execution = instance.submit_query(tenant_id, work, label=record.template)
+        if span is not None:
+            span.add_event(
+                time,
+                "admit",
+                instance=instance.name,
+                work_s=round(work, 6),
+                concurrency=instance.engine.concurrency,
+            )
+            span.add_event(time, "execute")
         if execution.finished:
             # Degenerate zero-work query: completion callback already ran
             # (without a registered record), so settle the books here.
             self._completed += 1
             self._monitor.on_query_finish(tenant_id, time)
-            self._sla_records.append(
-                SLARecord(
-                    tenant_id=tenant_id,
-                    group_name=self._deployed.group_name,
-                    instance_name=instance.name,
-                    template=record.template,
-                    submit_time_s=record.submit_time_s,
-                    baseline_latency_s=record.latency_s,
-                    observed_latency_s=0.0,
-                )
+            sla_record = SLARecord(
+                tenant_id=tenant_id,
+                group_name=self._deployed.group_name,
+                instance_name=instance.name,
+                template=record.template,
+                submit_time_s=record.submit_time_s,
+                baseline_latency_s=record.latency_s,
+                observed_latency_s=0.0,
             )
+            self._sla_records.append(sla_record)
+            self._observe_completion(record, sla_record, time)
             self._on_record_complete(record, time)
         else:
             self._inflight[(instance.name, execution.query_id)] = record
@@ -298,9 +340,46 @@ class GroupRuntime:
                 label="closed-loop-event",
             )
 
+    def _observe_completion(self, record: QueryRecord, sla_record: SLARecord, time: float) -> None:
+        """Emit terminal-state metrics and close the query's span."""
+        observer = self._observer
+        if not observer.enabled:
+            return
+        group = self._deployed.group_name
+        observer.queries_completed.labels(group=group).inc(time)
+        observer.query_latency.labels(group=group).observe(time, sla_record.observed_latency_s)
+        observer.normalized_latency.labels(group=group).observe(time, sla_record.normalized)
+        status = "complete" if sla_record.met else "violate"
+        if status == "violate":
+            observer.sla_violations.labels(group=group).inc(time)
+        span = self._record_span.pop(id(record), None)
+        if span is not None:
+            span.set_attr("observed_latency_s", sla_record.observed_latency_s)
+            span.set_attr("normalized", round(sla_record.normalized, 9))
+            span.add_event(time, status)
+            span.end(time, status=status)
+
+    def finalize_observation(self, time: float) -> None:
+        """Force-close query spans still open at the replay horizon.
+
+        Queries in flight when the horizon hits never reach a terminal
+        completion callback, so their spans are ended with status
+        ``"inflight"`` — every exported span chain is complete either way.
+        Idempotent; called by :meth:`run` and by the service after a
+        bounded ``Simulator.run``.
+        """
+        if not self._record_span:
+            return
+        for span in self._record_span.values():
+            span.add_event(time, STATUS_INFLIGHT)
+            span.end(time, status=STATUS_INFLIGHT)
+        self._record_span.clear()
+
     def _periodic_check(self, time: float) -> None:
         rt_ttp = self._monitor.rt_ttp(time, self._scaling.window_s)
         self._rt_ttp_samples.append((time, rt_ttp))
+        if self._observer.enabled:
+            self._observer.rt_ttp.labels(group=self._deployed.group_name).set(time, rt_ttp)
         self._scaling.maybe_scale(
             time,
             self._deployed,
@@ -309,6 +388,7 @@ class GroupRuntime:
             self._provisioner,
             self._sla_fraction,
             trace=self._trace,
+            observer=self._observer,
         )
 
     def schedule(self, until: float) -> int:
@@ -356,6 +436,7 @@ class GroupRuntime:
         if not self._scheduled:
             self.schedule(until)
         self._sim.run(until=until)
+        self.finalize_observation(self._sim.now)
         return self.report()
 
     def report(self) -> RuntimeReport:

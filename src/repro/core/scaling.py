@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from ..workload.activity import ActivityItem
 from .master import DeployedGroup
 from .monitor import GroupActivityMonitor
 from .routing import QueryRouter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.observer import Observer
 
 __all__ = [
     "ScalingAction",
@@ -89,6 +92,7 @@ class ScalingPolicy(abc.ABC):
         provisioner: Provisioner,
         sla_fraction: float,
         trace: Optional[TraceRecorder] = None,
+        observer: Optional["Observer"] = None,
     ) -> Optional[ScalingAction]:
         """Check the trigger and, if firing, start a scale-up.
 
@@ -125,6 +129,25 @@ class ScalingPolicy(abc.ABC):
                     ready=round(action.expected_ready_time, 1),
                     rt_ttp=round(rt_ttp, 5),
                 )
+            if observer is not None and observer.enabled:
+                observer.scaling_actions.labels(
+                    group=group.group_name, kind=action.kind
+                ).inc(now)
+                # The span covers the heavyweight part: trigger to the new
+                # MPPDB's expected readiness (known up front — the load
+                # model is deterministic).
+                span = observer.tracer.start_span(
+                    "scaling",
+                    now,
+                    kind="scaling",
+                    group=group.group_name,
+                    policy=action.kind,
+                    over_active=action.over_active,
+                    instance=action.instance_name,
+                    loaded_gb=action.loaded_gb,
+                    rt_ttp=round(rt_ttp, 5),
+                )
+                span.end(action.expected_ready_time)
         return action
 
     def _should_scale(self, now: float, group_name: str, rt_ttp: float, sla_fraction: float) -> bool:

@@ -24,6 +24,7 @@ from ..config import EvaluationConfig
 from ..errors import DeploymentError
 from ..mppdb.loading import LoadTimeModel
 from ..mppdb.provisioning import Provisioner
+from ..obs.observer import NULL_OBSERVER, Observer
 from ..simulation.engine import Simulator
 from ..simulation.trace import TraceRecorder
 from ..units import MINUTE
@@ -109,6 +110,7 @@ class ThriftyService:
         load_model: Optional[LoadTimeModel] = None,
         pool: Optional[MachinePool] = None,
         monitor_interval_s: float = 10 * MINUTE,
+        observer: Optional[Observer] = None,
     ) -> None:
         if scaling not in SCALING_POLICIES:
             raise DeploymentError(
@@ -122,6 +124,10 @@ class ThriftyService:
         self.master = DeploymentMaster(self.provisioner)
         self.monitor = TenantActivityMonitor(config.replication_factor)
         self.trace = TraceRecorder()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        if self.observer.enabled:
+            self.monitor.observe_with(self.observer)
+            self.simulator.enable_event_accounting()
         self._scaling_name = scaling
         self._monitor_interval = monitor_interval_s
         self._workload: Optional[ComposedWorkload] = None
@@ -208,10 +214,13 @@ class ThriftyService:
                 scaling=self._make_scaling(),
                 monitor_interval_s=self._monitor_interval,
                 trace=self.trace,
+                observer=self.observer,
             )
             runtime.schedule(until)
             self._runtimes[name] = runtime
         self.simulator.run(until=until)
+        for name in wanted:
+            self._runtimes[name].finalize_observation(self.simulator.now)
         reports = {name: self._runtimes[name].report() for name in wanted}
         plan = self._advice.plan
         return ServiceReport(
@@ -250,6 +259,16 @@ class ThriftyService:
         epoch = self.config.epoch_size_s if epoch_size is None else epoch_size
         matrix = ActivityMatrix.from_workload(self._workload, epoch)
         self._reconsolidations += 1
+        span = None
+        if self.observer.enabled:
+            span = self.observer.tracer.start_span(
+                "reconsolidation",
+                self.simulator.now,
+                kind="reconsolidation",
+                cycle=self._reconsolidations,
+                affected=tuple(sorted(affected)),
+                departed=tuple(departed),
+            )
         result, kept = self.advisor.reconsolidate(
             matrix,
             self._advice.plan,
@@ -268,6 +287,10 @@ class ThriftyService:
         for group in result.plan:
             if group.group_name not in self.master.deployed_groups():
                 self.master.deploy_group(group, instant=True)
+        if span is not None:
+            span.set_attr("torn_down", tuple(sorted(torn_down)))
+            span.set_attr("groups_after", len(result.plan))
+            span.end(self.simulator.now)
         self._advice = AdvisorResult(
             plan=result.plan, grouping=result.grouping, excluded=self._advice.excluded
         )

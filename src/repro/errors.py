@@ -25,6 +25,7 @@ __all__ = [
     "DeploymentError",
     "ScalingError",
     "LintError",
+    "ObservabilityError",
 ]
 
 
@@ -92,3 +93,7 @@ class ScalingError(ReproError):
 
 class LintError(ReproError):
     """The :mod:`repro.tools.lint` static-analysis pass was misused."""
+
+
+class ObservabilityError(ReproError):
+    """The :mod:`repro.obs` metrics/tracing layer was used incorrectly."""

@@ -16,11 +16,14 @@ is rescheduled.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..errors import MPPDBError
 from ..simulation.engine import Simulator
 from ..simulation.events import ScheduledEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.observer import Observer
 
 __all__ = ["QueryExecution", "ExecutionEngine"]
 
@@ -86,6 +89,13 @@ class ExecutionEngine:
         self._completion_handle: Optional[ScheduledEvent] = None
         self._on_complete: list[CompletionCallback] = []
         self._completed: list[QueryExecution] = []
+        self._observer: Optional["Observer"] = None
+        self._instance_name = ""
+
+    def observe_with(self, observer: "Observer", instance_name: str) -> None:
+        """Attach an observer; engine metrics are labeled ``instance_name``."""
+        self._observer = observer
+        self._instance_name = instance_name
 
     @property
     def concurrency(self) -> int:
@@ -127,6 +137,14 @@ class ExecutionEngine:
         if work_s < 0:
             raise MPPDBError(f"work must be non-negative, got {work_s!r}")
         self._settle()
+        observer = self._observer
+        if observer is not None and observer.enabled:
+            now = self._sim.now
+            observer.engine_queries.labels(instance=self._instance_name).inc(now)
+            # Concurrency as seen on admission, counting this query.
+            observer.engine_concurrency.labels(instance=self._instance_name).observe(
+                now, float(len(self._running) + 1)
+            )
         execution = QueryExecution(
             query_id=next(self._ids),
             tenant_id=tenant_id,

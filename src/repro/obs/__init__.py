@@ -1,0 +1,85 @@
+"""``repro.obs`` — sim-time-aware observability for the Thrifty runtime.
+
+The Tenant Activity Monitor's whole job is *measuring* the consolidation
+guarantee (PAPER ch. 3, 5.1); this package is the reproduction's
+measurement plane:
+
+* **Metrics** — labeled :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments, stamped with simulated time, exported
+  as JSONL or Prometheus text (:mod:`repro.obs.metrics`).
+* **Tracing** — spans over the query/tenant lifecycle (``submit → route
+  → admit → execute → complete``/``violate``), plus scaling and
+  reconsolidation spans, with deterministic ids (:mod:`repro.obs.tracing`).
+* **Profiling** — wall-clock timers and call counters around the packing
+  solvers and the routing hot path (:mod:`repro.obs.profiling`).
+* **Sinks** — pluggable destinations; the default :data:`NULL_SINK`
+  makes every instrumentation site a single branch
+  (:mod:`repro.obs.sink`).
+* **Run reports** — ``metrics.jsonl`` / ``spans.jsonl`` /
+  ``summary.json`` writers and readers (:mod:`repro.obs.report`), wired
+  into ``thrifty replay --obs-out`` and the ``thrifty obs`` subcommand.
+
+Minimal session::
+
+    from repro.obs import MemorySink, Observer, write_run_report
+
+    observer = Observer(MemorySink())
+    service = ThriftyService(config, observer=observer)
+    service.deploy(workload)
+    service.replay(until=DAY)
+    write_run_report("out/", observer, horizon=DAY)
+
+The original :class:`~repro.simulation.trace.TraceRecorder` is subsumed
+by the sink API but kept as a compatibility shim: it is re-exported here,
+and :class:`TraceRecorderSink` adapts it to the sink interface.
+"""
+
+from ..simulation.trace import TraceEntry, TraceRecorder
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import NULL_OBSERVER, Observer
+from .profiling import PROFILER, ProfileRegistry, profiled
+from .report import RunReport, build_summary, load_run_report, write_run_report
+from .sink import (
+    MemorySink,
+    MetricSample,
+    NullSink,
+    NULL_SINK,
+    ObsEvent,
+    ObsSink,
+    SpanEvent,
+    SpanRecord,
+    TeeSink,
+    TraceRecorderSink,
+)
+from .tracing import STATUS_INFLIGHT, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "NULL_OBSERVER",
+    "PROFILER",
+    "ProfileRegistry",
+    "profiled",
+    "RunReport",
+    "build_summary",
+    "load_run_report",
+    "write_run_report",
+    "MemorySink",
+    "MetricSample",
+    "NullSink",
+    "NULL_SINK",
+    "ObsEvent",
+    "ObsSink",
+    "SpanEvent",
+    "SpanRecord",
+    "TeeSink",
+    "TraceRecorderSink",
+    "Span",
+    "STATUS_INFLIGHT",
+    "Tracer",
+    "TraceEntry",
+    "TraceRecorder",
+]

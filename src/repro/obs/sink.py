@@ -1,0 +1,300 @@
+"""Pluggable observability sinks and the record types they carry.
+
+Everything the instrumented runtime emits flows through an
+:class:`ObsSink`: metric samples, finished spans, and one-shot events.
+Three production sinks cover the use cases:
+
+* :class:`NullSink` — the default.  ``enabled`` is ``False``, so every
+  instrumentation site short-circuits before building a record; replays
+  and benchmarks pay one attribute load and a branch per site.
+* :class:`MemorySink` — collects everything in order, with JSONL export
+  (``metrics.jsonl`` / ``spans.jsonl``) for the run report.
+* :class:`TraceRecorderSink` — the compatibility shim around the original
+  :class:`~repro.simulation.trace.TraceRecorder`: events append as trace
+  entries and finished spans append as ``span/<kind>`` entries, so code
+  written against the recorder keeps working unchanged.
+
+:class:`TeeSink` fans one emission out to several sinks (e.g. a memory
+sink for the run report plus the legacy recorder).
+
+All timestamps are **simulated** seconds from the replay clock, so two
+runs of the same scenario produce byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from ..simulation.trace import TraceRecorder
+
+__all__ = [
+    "MetricSample",
+    "SpanEvent",
+    "SpanRecord",
+    "ObsEvent",
+    "ObsSink",
+    "NullSink",
+    "MemorySink",
+    "TraceRecorderSink",
+    "TeeSink",
+    "NULL_SINK",
+]
+
+#: Values allowed in span/event attributes: JSON scalars plus flat tuples.
+AttrValue = Union[str, int, float, bool, None, tuple]
+
+
+def _jsonable(value: AttrValue) -> object:
+    """Coerce an attribute value into a JSON-serialisable shape."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One sim-time-stamped observation of a metric."""
+
+    time: float
+    name: str
+    kind: str
+    value: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSONL row shape."""
+        return {
+            "t": self.time,
+            "metric": self.name,
+            "type": self.kind,
+            "value": self.value,
+            "labels": dict(self.labels),
+        }
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    time: float
+    name: str
+    attrs: tuple[tuple[str, AttrValue], ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON shape used inside a span row."""
+        return {
+            "t": self.time,
+            "name": self.name,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs},
+        }
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A finished span: one lifecycle interval with its annotations."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str
+    start: float
+    end: float
+    status: str
+    attrs: tuple[tuple[str, AttrValue], ...] = ()
+    events: tuple[SpanEvent, ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSONL row shape."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs},
+            "events": [e.as_dict() for e in self.events],
+        }
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """A one-shot event (the :class:`TraceRecorder` record shape)."""
+
+    time: float
+    kind: str
+    attrs: tuple[tuple[str, AttrValue], ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON shape."""
+        return {
+            "t": self.time,
+            "kind": self.kind,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs},
+        }
+
+
+class ObsSink(abc.ABC):
+    """Destination for everything the instrumented runtime emits.
+
+    ``enabled`` is the near-zero-cost switch: instrumentation sites check
+    it *before* building any record, so a disabled sink costs one branch.
+    """
+
+    enabled: bool = True
+
+    @abc.abstractmethod
+    def on_metric(self, sample: MetricSample) -> None:
+        """Receive one metric sample."""
+
+    @abc.abstractmethod
+    def on_span(self, span: SpanRecord) -> None:
+        """Receive one finished span."""
+
+    @abc.abstractmethod
+    def on_event(self, event: ObsEvent) -> None:
+        """Receive one one-shot event."""
+
+
+class NullSink(ObsSink):
+    """Discards everything; ``enabled`` is ``False`` so emitters skip work."""
+
+    enabled = False
+
+    def on_metric(self, sample: MetricSample) -> None:
+        """Drop the sample."""
+
+    def on_span(self, span: SpanRecord) -> None:
+        """Drop the span."""
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Drop the event."""
+
+
+#: Shared default sink — stateless, safe to share across services.
+NULL_SINK = NullSink()
+
+
+class MemorySink(ObsSink):
+    """Collects every emission in arrival order, with JSONL export."""
+
+    def __init__(self) -> None:
+        self.metrics: list[MetricSample] = []
+        self.spans: list[SpanRecord] = []
+        self.events: list[ObsEvent] = []
+
+    def on_metric(self, sample: MetricSample) -> None:
+        """Append the sample."""
+        self.metrics.append(sample)
+
+    def on_span(self, span: SpanRecord) -> None:
+        """Append the span."""
+        self.spans.append(span)
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Append the event."""
+        self.events.append(event)
+
+    def metric_samples(self, name: str, **labels: str) -> list[MetricSample]:
+        """Samples of ``name`` whose labels include every ``labels`` pair."""
+        wanted = set(labels.items())
+        return [
+            s for s in self.metrics if s.name == name and wanted <= set(s.labels)
+        ]
+
+    def spans_of(self, kind: str) -> list[SpanRecord]:
+        """All finished spans of the given kind, in finish order."""
+        return [s for s in self.spans if s.kind == kind]
+
+    def write_metrics_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write every metric sample as one JSON object per line."""
+        return _write_jsonl(path, (s.as_dict() for s in self.metrics))
+
+    def write_spans_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write every finished span as one JSON object per line."""
+        return _write_jsonl(path, (s.as_dict() for s in self.spans))
+
+
+def _write_jsonl(path: Union[str, Path], rows: Iterable[Mapping[str, object]]) -> Path:
+    """Write ``rows`` as JSON Lines; parents are created as needed."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return target
+
+
+class TraceRecorderSink(ObsSink):
+    """Compatibility shim: forwards emissions into a :class:`TraceRecorder`.
+
+    Events map 1:1 onto trace entries; a finished span becomes one
+    ``span/<kind>`` entry at its end time (carrying start/status/attrs).
+    Metric samples are not recorded — the recorder predates metrics and
+    its consumers only understand events.
+    """
+
+    def __init__(self, recorder: Optional[TraceRecorder] = None) -> None:
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+
+    def on_metric(self, sample: MetricSample) -> None:
+        """Metrics have no trace-entry representation; dropped."""
+
+    def on_span(self, span: SpanRecord) -> None:
+        """Record the finished span as a ``span/<kind>`` entry."""
+        self.recorder.record(
+            span.end,
+            f"span/{span.kind or span.name}",
+            start=span.start,
+            status=span.status,
+            **{k: _jsonable(v) for k, v in span.attrs},
+        )
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Record the event verbatim."""
+        self.recorder.record(
+            event.time, event.kind, **{k: _jsonable(v) for k, v in event.attrs}
+        )
+
+
+class TeeSink(ObsSink):
+    """Fans every emission out to several child sinks."""
+
+    def __init__(self, sinks: Sequence[ObsSink]) -> None:
+        self.sinks: tuple[ObsSink, ...] = tuple(sinks)
+        self.enabled = any(s.enabled for s in self.sinks)
+
+    def on_metric(self, sample: MetricSample) -> None:
+        """Forward to every enabled child."""
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.on_metric(sample)
+
+    def on_span(self, span: SpanRecord) -> None:
+        """Forward to every enabled child."""
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.on_span(span)
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Forward to every enabled child."""
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.on_event(event)
+
+
+def attrs_tuple(attrs: Mapping[str, Any]) -> tuple[tuple[str, AttrValue], ...]:
+    """Normalize an attribute mapping into the hashable record shape."""
+    out: list[tuple[str, AttrValue]] = []
+    for key, value in attrs.items():
+        if isinstance(value, (list, set, frozenset)):
+            out.append((key, tuple(sorted(value) if isinstance(value, (set, frozenset)) else value)))
+        else:
+            out.append((key, value))
+    return tuple(out)

@@ -1,0 +1,151 @@
+"""Simulated-time span tracing of the query/tenant lifecycle.
+
+A :class:`Span` is one interval of the replay — a query's life from
+submission to its terminal state, a scale-up from trigger to ready, a
+reconsolidation cycle — annotated with point-in-time events
+(``submit``, ``route``, ``admit``, ``execute``, ``complete`` /
+``violate``; see ``docs/OBSERVABILITY.md`` for the full taxonomy).
+
+Spans carry **simulated** timestamps from the replay clock and ids from a
+deterministic counter, so replaying the same scenario twice yields
+byte-identical ``spans.jsonl`` exports.  A span is emitted to the sink
+when it ends; :meth:`Tracer.end_open` force-closes whatever is still open
+(queries in flight when the replay horizon is reached) with a
+distinguishable status.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from ..errors import ObservabilityError
+from .sink import AttrValue, ObsSink, SpanEvent, SpanRecord, NULL_SINK, attrs_tuple
+
+__all__ = ["Span", "Tracer", "STATUS_INFLIGHT"]
+
+#: Status given to spans force-closed at the replay horizon.
+STATUS_INFLIGHT = "inflight"
+
+
+class Span:
+    """One open lifecycle interval; becomes a :class:`SpanRecord` on end."""
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        kind: str,
+        start: float,
+        attrs: tuple[tuple[str, AttrValue], ...],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.attrs: dict[str, AttrValue] = dict(attrs)
+        self.events: list[SpanEvent] = []
+        self._ended = False
+
+    @property
+    def ended(self) -> bool:
+        """Whether :meth:`end` has run."""
+        return self._ended
+
+    def set_attr(self, key: str, value: AttrValue) -> None:
+        """Set (or overwrite) one span attribute."""
+        self.attrs[key] = value
+
+    def add_event(self, time: float, name: str, **attrs: Any) -> None:
+        """Append a point-in-time annotation."""
+        if self._ended:
+            raise ObservabilityError(f"span {self.span_id} already ended")
+        self.events.append(SpanEvent(time=time, name=name, attrs=attrs_tuple(attrs)))
+
+    def end(self, time: float, status: str = "ok") -> SpanRecord:
+        """Close the span and emit it to the tracer's sink."""
+        if self._ended:
+            raise ObservabilityError(f"span {self.span_id} already ended")
+        if time < self.start:
+            raise ObservabilityError(
+                f"span {self.span_id} cannot end at {time!r} before its start {self.start!r}"
+            )
+        self._ended = True
+        record = SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            kind=self.kind,
+            start=self.start,
+            end=time,
+            status=status,
+            attrs=attrs_tuple(self.attrs),
+            events=tuple(self.events),
+        )
+        self._tracer._finish(self, record)
+        return record
+
+
+class Tracer:
+    """Creates spans with deterministic ids and tracks the open set."""
+
+    def __init__(self, sink: Optional[ObsSink] = None) -> None:
+        self.sink: ObsSink = sink if sink is not None else NULL_SINK
+        self._ids = itertools.count(1)
+        self._open: dict[int, Span] = {}
+        self._finished = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans reach a live sink."""
+        return self.sink.enabled
+
+    @property
+    def finished_count(self) -> int:
+        """Number of spans emitted so far."""
+        return self._finished
+
+    def start_span(
+        self,
+        name: str,
+        time: float,
+        kind: str = "",
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span starting at simulated ``time``."""
+        span = Span(
+            tracer=self,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            kind=kind or name,
+            start=time,
+            attrs=attrs_tuple(attrs),
+        )
+        self._open[span.span_id] = span
+        return span
+
+    def open_spans(self) -> list[Span]:
+        """Spans started but not yet ended, in start order."""
+        return [self._open[key] for key in sorted(self._open)]
+
+    def end_open(self, time: float, status: str = STATUS_INFLIGHT, kind: Optional[str] = None) -> int:
+        """Force-close open spans (optionally only of ``kind``); returns count."""
+        closed = 0
+        for span in self.open_spans():
+            if kind is not None and span.kind != kind:
+                continue
+            span.end(time, status=status)
+            closed += 1
+        return closed
+
+    def _finish(self, span: Span, record: SpanRecord) -> None:
+        self._open.pop(span.span_id, None)
+        self._finished += 1
+        if self.sink.enabled:
+            self.sink.on_span(record)

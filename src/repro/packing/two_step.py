@@ -35,6 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.profiling import profiled
 from ..workload.activity import ActivityItem
 from .livbp import TTP_TOL, GroupingSolution, LIVBPwFCProblem
 
@@ -107,6 +108,7 @@ def _pack_one_initial_group(
     return groups
 
 
+@profiled("packing.two_step_grouping")
 def two_step_grouping(problem: LIVBPwFCProblem) -> GroupingSolution:
     """Run Algorithm 2 on a LIVBPwFC instance."""
     started = time.perf_counter()

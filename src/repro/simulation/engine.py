@@ -30,6 +30,7 @@ class Simulator:
         self._queue = EventQueue()
         self._events_fired = 0
         self._running = False
+        self._event_counts: Optional[dict[str, int]] = None
 
     @property
     def now(self) -> float:
@@ -45,6 +46,21 @@ class Simulator:
     def pending(self) -> int:
         """Number of live events still scheduled."""
         return len(self._queue)
+
+    def enable_event_accounting(self) -> None:
+        """Start counting fired events by label (for run reports).
+
+        Off by default so the hot loop stays a pop-advance-call sequence.
+        The engine stays observability-agnostic: the counts are a plain
+        dict that ``repro.obs`` report writers read out after a run.
+        """
+        if self._event_counts is None:
+            self._event_counts = {}
+
+    @property
+    def event_counts(self) -> dict[str, int]:
+        """Fired-event counts keyed by event label (empty unless enabled)."""
+        return dict(self._event_counts or {})
 
     def schedule(
         self,
@@ -87,6 +103,10 @@ class Simulator:
         event = self._queue.pop()
         self.clock.advance_to(event.time)
         self._events_fired += 1
+        counts = self._event_counts
+        if counts is not None:
+            label = event.label or "(unlabeled)"
+            counts[label] = counts.get(label, 0) + 1
         event.callback(event.time)
         return event
 

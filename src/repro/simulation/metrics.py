@@ -66,7 +66,15 @@ class TimeSeries:
         return max(self._values)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile ``q`` in [0, 100] of the sample values."""
+        """Nearest-rank percentile ``q`` in [0, 100] of the sample values.
+
+        Nearest-rank assigns rank ``ceil(q/100 * n)``, which is 0 for
+        ``q = 0`` — an undefined rank.  The rank is therefore clamped to
+        1, making ``percentile(0)`` the series **minimum** (by symmetry
+        with ``percentile(100)``, which is the maximum).  The clamp also
+        means every ``q`` small enough that ``ceil(q/100 * n) < 1``
+        returns the minimum, not an interpolated sub-minimum value.
+        """
         if not self._values:
             raise SimulationError("percentile() of an empty series")
         if not (0 <= q <= 100):

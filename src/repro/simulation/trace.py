@@ -4,14 +4,30 @@ A :class:`TraceRecorder` is an append-only log of ``(time, kind, details)``
 entries.  The Thrifty runtime uses it to record routing decisions, SLA
 violations and scaling actions, and the Figure 7.7 benchmark replays a
 recorded trace into a printable excerpt.
+
+The recorder predates :mod:`repro.obs` and is kept as a compatibility
+shim: it is re-exported from ``repro.obs`` and adapted to the sink API by
+:class:`~repro.obs.sink.TraceRecorderSink`.  New instrumentation should
+emit through an :class:`~repro.obs.observer.Observer` instead.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Union
 
 __all__ = ["TraceEntry", "TraceRecorder"]
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON fallback for detail values (tuples, sets, numpy scalars)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -48,6 +64,42 @@ class TraceRecorder:
     def of_kind(self, kind: str) -> list[TraceEntry]:
         """All entries of the given kind, in time order."""
         return [e for e in self._entries if e.kind == kind]
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> list[TraceEntry]:
+        """Entries matching every given criterion, in time order.
+
+        ``kind`` matches exactly; ``start``/``end`` bound the half-open
+        time window ``[start, end)``.  With no arguments this is simply a
+        copy of the whole log.
+        """
+        return [
+            e
+            for e in self._entries
+            if (kind is None or e.kind == kind)
+            and (start is None or e.time >= start)
+            and (end is None or e.time < end)
+        ]
+
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the log as JSON Lines (``{"t", "kind", "attrs"}`` rows).
+
+        The row shape matches the ``repro.obs`` event export, so a legacy
+        trace and an :class:`~repro.obs.sink.MemorySink` event dump are
+        interchangeable downstream.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                row = {"t": entry.time, "kind": entry.kind, "attrs": dict(entry.details)}
+                handle.write(json.dumps(row, sort_keys=True, default=_jsonable))
+                handle.write("\n")
+        return target
 
     def between(self, start: float, end: float) -> list[TraceEntry]:
         """All entries with ``start <= time < end``."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import ast
 import re
+from pathlib import PurePosixPath
 from typing import Iterator
 
 from .registry import FileContext, Rule, Violation, register
@@ -20,6 +21,7 @@ __all__ = [
     "MutableDefaultRule",
     "BroadExceptRule",
     "PublicAnnotationRule",
+    "NoBarePrintRule",
 ]
 
 #: Layers whose behaviour is replayed deterministically (THR001 scope).
@@ -263,9 +265,9 @@ class PublicAnnotationRule(Rule):
     """THR006 — the optimization core's public surface is fully annotated."""
 
     code = "THR006"
-    summary = "public functions in core/, packing/, simulation/ have complete type annotations"
+    summary = "public functions in core/, packing/, simulation/, obs/ have complete type annotations"
 
-    _LAYERS = ("core", "packing", "simulation")
+    _LAYERS = ("core", "packing", "simulation", "obs")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_layer(*self._LAYERS):
@@ -320,3 +322,37 @@ class PublicAnnotationRule(Rule):
         return any(
             isinstance(d, ast.Name) and d.id == "staticmethod" for d in node.decorator_list
         )
+
+
+@register
+class NoBarePrintRule(Rule):
+    """THR007 — library output flows through ``repro.obs``, not ``print()``.
+
+    A ``print()`` buried in the library is output the observability plane
+    cannot see, filter, or export; replays instrumented through a sink
+    should produce *no* stdout from ``src/repro`` itself.  The CLI
+    (``cli.py``) and module entry points (``__main__.py``) are the
+    designated presentation layer and stay exempt.
+    """
+
+    code = "THR007"
+    summary = "no bare print() in src/repro outside cli.py and __main__ entry points"
+
+    _EXEMPT_BASENAMES = frozenset({"cli.py", "__main__.py"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_repro():
+            return
+        basename = PurePosixPath(ctx.path.replace("\\", "/")).name
+        if basename in self._EXEMPT_BASENAMES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare print() in library code; emit through a repro.obs "
+                    "sink (or return the text to the CLI presentation layer)",
+                )

@@ -68,7 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-aware static analysis for the Thrifty reproduction: "
             "checks deterministic-replay, error-hierarchy, float-comparison, "
-            "and typing invariants (rules THR001..THR006)."
+            "and typing invariants (rules THR001..THR007)."
         ),
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")

@@ -1,0 +1,151 @@
+"""Metric instruments: counters, gauges, histograms, the registry, Prometheus text."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MemorySink, MetricsRegistry, NullSink
+from repro.obs.metrics import DEFAULT_NORMALIZED_BUCKETS
+
+
+@pytest.fixture
+def sink():
+    return MemorySink()
+
+
+@pytest.fixture
+def registry(sink):
+    return MetricsRegistry(sink)
+
+
+class TestCounter:
+    def test_inc_emits_running_total(self, registry, sink):
+        c = registry.counter("q_total", "queries", ("group",))
+        bound = c.labels(group="g1")
+        bound.inc(1.0)
+        bound.inc(2.0, 4.0)
+        assert c.value(group="g1") == 5.0
+        assert [(s.time, s.value) for s in sink.metric_samples("q_total")] == [
+            (1.0, 1.0),
+            (2.0, 5.0),
+        ]
+
+    def test_label_sets_are_independent(self, registry):
+        c = registry.counter("q_total", "", ("group",))
+        c.labels(group="a").inc(0.0)
+        c.labels(group="b").inc(0.0)
+        c.labels(group="b").inc(1.0)
+        assert c.value(group="a") == 1.0
+        assert c.value(group="b") == 2.0
+        assert c.value(group="never") == 0.0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("q_total")
+        with pytest.raises(ObservabilityError):
+            c.inc(0.0, -1.0)
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("q_total", "", ("group",))
+        with pytest.raises(ObservabilityError):
+            c.labels(tenant="t1")
+        with pytest.raises(ObservabilityError):
+            c.inc(0.0)  # missing the declared label
+
+    def test_disabled_sink_skips_state_and_emission(self):
+        registry = MetricsRegistry(NullSink())
+        c = registry.counter("q_total", "", ("group",))
+        c.labels(group="g").inc(0.0)
+        assert c.value(group="g") == 0.0
+        assert c.snapshot() == {}
+
+
+class TestGauge:
+    def test_set_is_last_write_wins(self, registry, sink):
+        g = registry.gauge("ttp", "", ("group",))
+        bound = g.labels(group="g1")
+        bound.set(1.0, 0.999)
+        bound.set(2.0, 0.95)
+        assert g.value(group="g1") == 0.95
+        assert [s.value for s in sink.metric_samples("ttp")] == [0.999, 0.95]
+
+    def test_unset_is_none(self, registry):
+        g = registry.gauge("ttp", "", ("group",))
+        assert g.value(group="g1") is None
+
+    def test_disabled_sink_skips(self):
+        g = MetricsRegistry(NullSink()).gauge("ttp")
+        g.set(0.0, 1.0)
+        assert g.value() is None
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_are_le(self, registry):
+        h = registry.histogram("lat", "", (), buckets=(1.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 5.0, 9.0):
+            h.observe(0.0, v)
+        # le semantics: 1.0 lands in the first bucket, 5.0 in the second.
+        assert h.counts() == {"1": 2, "5": 2, "+Inf": 1}
+
+    def test_raw_observations_reach_the_sink(self, registry, sink):
+        h = registry.histogram("lat", "", ("group",), buckets=(1.0,))
+        h.labels(group="g").observe(3.0, 0.25)
+        (sample,) = sink.metric_samples("lat")
+        assert sample.value == 0.25
+        assert sample.kind == "histogram"
+
+    def test_bad_buckets_rejected(self, registry):
+        for buckets in ((), (2.0, 1.0), (1.0, 1.0)):
+            with pytest.raises(ObservabilityError):
+                registry.histogram(f"h{len(buckets)}x", buckets=buckets)
+
+    def test_empty_counts_before_first_observation(self, registry):
+        h = registry.histogram("lat", "", ("group",))
+        assert h.counts(group="g") == {}
+
+
+class TestRegistry:
+    def test_same_name_same_family_memoized(self, registry):
+        a = registry.counter("n", "", ("g",))
+        b = registry.counter("n", "", ("g",))
+        assert a is b
+
+    def test_conflicting_redeclaration_rejected(self, registry):
+        registry.counter("n", "", ("g",))
+        with pytest.raises(ObservabilityError):
+            registry.gauge("n", "", ("g",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("n", "", ("other",))
+
+    def test_iteration_is_name_ordered(self, registry):
+        registry.counter("b")
+        registry.gauge("a")
+        assert [f.name for f in registry] == ["a", "b"]
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("thrifty_q_total", "queries", ("group",)).labels(group="g1").inc(0.0)
+        registry.gauge("thrifty_ttp", "ttp", ("group",)).labels(group="g1").set(0.0, 0.999)
+        text = registry.to_prometheus_text()
+        assert "# HELP thrifty_q_total queries" in text
+        assert "# TYPE thrifty_q_total counter" in text
+        assert 'thrifty_q_total{group="g1"} 1' in text
+        assert "# TYPE thrifty_ttp gauge" in text
+        assert 'thrifty_ttp{group="g1"} 0.999' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf_sum_count(self, registry):
+        h = registry.histogram("lat", "latency", ("g",), buckets=(1.0, 5.0))
+        bound = h.labels(g="x")
+        for v in (0.5, 2.0, 9.0):
+            bound.observe(0.0, v)
+        text = registry.to_prometheus_text()
+        assert 'lat_bucket{g="x",le="1"} 1' in text
+        assert 'lat_bucket{g="x",le="5"} 2' in text
+        assert 'lat_bucket{g="x",le="+Inf"} 3' in text
+        assert 'lat_sum{g="x"} 11.5' in text
+        assert 'lat_count{g="x"} 3' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry(MemorySink()).to_prometheus_text() == ""
+
+    def test_normalized_buckets_include_the_sla_boundary(self):
+        assert 1.0 in DEFAULT_NORMALIZED_BUCKETS

@@ -1,0 +1,94 @@
+"""Wall-clock profiling hooks (the only repro.obs piece off the sim clock)."""
+
+from repro.obs import PROFILER, ProfileRegistry, profiled
+
+
+class TestProfileRegistry:
+    def test_disabled_records_nothing(self):
+        registry = ProfileRegistry()
+        registry.record("site", 1.0)
+        assert registry.snapshot() == {}
+
+    def test_enabled_accumulates_calls_and_seconds(self):
+        registry = ProfileRegistry(enabled=True)
+        registry.record("site", 1.0)
+        registry.record("site", 0.5, calls=2)
+        entry = registry.snapshot()["site"]
+        assert entry.calls == 3
+        assert entry.wall_s == 1.5
+        assert entry.as_dict() == {"calls": 3.0, "wall_s": 1.5}
+
+    def test_capture_restores_previous_state(self):
+        registry = ProfileRegistry()
+        with registry.capture():
+            assert registry.enabled
+            registry.record("a", 0.1)
+        assert not registry.enabled
+        assert "a" in registry.snapshot()
+
+    def test_reset_drops_entries(self):
+        registry = ProfileRegistry(enabled=True)
+        registry.record("a", 0.1)
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_time_block(self):
+        registry = ProfileRegistry(enabled=True)
+        with registry.time_block("blk"):
+            pass
+        entry = registry.snapshot()["blk"]
+        assert entry.calls == 1
+        assert entry.wall_s >= 0.0
+
+    def test_snapshot_returns_copies(self):
+        registry = ProfileRegistry(enabled=True)
+        registry.record("a", 0.1)
+        registry.snapshot()["a"].calls = 999
+        assert registry.snapshot()["a"].calls == 1
+
+
+class TestProfiledDecorator:
+    def test_passthrough_while_global_profiler_disabled(self):
+        @profiled("tests.site")
+        def add(a, b):
+            """Adds."""
+            return a + b
+
+        assert not PROFILER.enabled
+        before = PROFILER.snapshot()
+        assert add(1, 2) == 3
+        assert PROFILER.snapshot().keys() == before.keys()
+
+    def test_records_under_capture(self):
+        @profiled("tests.captured_site")
+        def mul(a, b):
+            return a * b
+
+        with PROFILER.capture():
+            assert mul(3, 4) == 12
+            assert mul(5, 6) == 30
+        entry = PROFILER.snapshot()["tests.captured_site"]
+        assert entry.calls == 2
+        PROFILER.reset()
+
+    def test_metadata_preserved(self):
+        @profiled("tests.meta")
+        def documented():
+            """Doc string survives."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Doc string survives."
+        assert documented.__wrapped__ is not None
+
+    def test_exceptions_still_timed(self):
+        @profiled("tests.raises")
+        def boom():
+            raise RuntimeError("boom")
+
+        with PROFILER.capture():
+            try:
+                boom()
+            except RuntimeError:
+                pass
+        assert PROFILER.snapshot()["tests.raises"].calls == 1
+        PROFILER.reset()

@@ -124,3 +124,23 @@ class TestSimulator:
             sim.schedule(t, lambda _t: None)
         sim.run()
         assert sim.events_fired == 2
+
+    def test_event_accounting_off_by_default(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda _t: None, label="tick")
+        sim.run()
+        assert sim.event_counts == {}
+
+    def test_event_accounting_counts_by_label(self):
+        sim = Simulator()
+        sim.enable_event_accounting()
+        sim.enable_event_accounting()  # idempotent
+        sim.schedule(1.0, lambda _t: None, label="tick")
+        sim.schedule(2.0, lambda _t: None, label="tick")
+        sim.schedule(3.0, lambda _t: None)
+        sim.run()
+        assert sim.event_counts == {"tick": 2, "(unlabeled)": 1}
+        # event_counts returns a copy, not live state
+        counts = sim.event_counts
+        counts["tick"] = 99
+        assert sim.event_counts["tick"] == 2

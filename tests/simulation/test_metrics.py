@@ -51,6 +51,36 @@ class TestTimeSeries:
         series.add(0.0, 1.0)
         with pytest.raises(SimulationError):
             series.percentile(101)
+        with pytest.raises(SimulationError):
+            series.percentile(-0.1)
+
+    def test_percentile_zero_is_minimum(self):
+        # Nearest-rank gives rank ceil(0 * n) = 0; the documented clamp to
+        # rank 1 makes percentile(0) the minimum, mirroring percentile(100)
+        # as the maximum.
+        series = TimeSeries()
+        for i, v in enumerate([5.0, 1.0, 3.0]):
+            series.add(float(i), v)
+        assert series.percentile(0) == 1.0
+        assert series.percentile(50) == 3.0
+        assert series.percentile(100) == 5.0
+        # Sub-rank-1 percentiles also clamp to the minimum.
+        assert series.percentile(10) == 1.0
+
+    def test_percentiles_on_single_sample(self):
+        series = TimeSeries()
+        series.add(0.0, 2.5)
+        assert series.percentile(0) == 2.5
+        assert series.percentile(50) == 2.5
+        assert series.percentile(100) == 2.5
+
+    def test_fraction_above_single_sample(self):
+        series = TimeSeries()
+        series.add(0.0, 1.0)
+        # Strictly above: the sample itself does not count at its own value.
+        assert series.fraction_above(0.5) == 1.0
+        assert series.fraction_above(1.0) == 0.0
+        assert series.fraction_above(1.5) == 0.0
 
     def test_window(self):
         series = TimeSeries()
@@ -135,6 +165,21 @@ class TestStepSeries:
         series = StepSeries(0.0)
         with pytest.raises(SimulationError):
             series.time_weighted_mean(5.0, 5.0)
+
+    def test_zero_width_windows_raise_everywhere(self):
+        # Every time-weighted aggregate treats [t, t) as an error rather
+        # than returning 0/0-flavoured garbage.
+        series = StepSeries(1.0)
+        series.set(5.0, 3.0)
+        for call in (
+            lambda: series.time_weighted_mean(5.0, 5.0),
+            lambda: series.fraction_time_above(2.0, 5.0, 5.0),
+            lambda: series.fraction_time_at_most(2.0, 5.0, 5.0),
+            lambda: series.max_over(5.0, 5.0),
+            lambda: series.time_weighted_mean(6.0, 5.0),  # inverted, too
+        ):
+            with pytest.raises(SimulationError):
+                call()
 
     def test_window_beyond_last_change_uses_final_value(self):
         series = StepSeries(0.0)

@@ -1,5 +1,7 @@
 """Trace recorder tests."""
 
+import json
+
 from repro.simulation.trace import TraceRecorder
 
 
@@ -43,3 +45,34 @@ class TestTraceRecorder:
         text = str(entry)
         assert "route" in text
         assert "tenant=4" in text
+
+    def test_filter_by_kind_and_window(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "scale")
+        trace.record(2.0, "route")
+        trace.record(3.0, "scale")
+        trace.record(4.0, "scale")
+        # kind alone
+        assert [e.time for e in trace.filter(kind="scale")] == [1.0, 3.0, 4.0]
+        # half-open window [2.0, 4.0): the end is excluded
+        assert [e.time for e in trace.filter(start=2.0, end=4.0)] == [2.0, 3.0]
+        # combined
+        assert [e.time for e in trace.filter(kind="scale", start=2.0, end=4.0)] == [3.0]
+        # no criteria: the whole log, as a copy
+        everything = trace.filter()
+        assert [e.time for e in everything] == [1.0, 2.0, 3.0, 4.0]
+        everything.pop()
+        assert len(trace) == 4
+
+    def test_to_jsonl_row_shape(self, tmp_path):
+        trace = TraceRecorder()
+        trace.record(1.5, "elastic-scaling", policy="lightweight", over_active=(3, 7))
+        trace.record(2.0, "route", instance="tg0/mppdb1")
+        path = trace.to_jsonl(tmp_path / "sub" / "trace.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {
+            "t": 1.5,
+            "kind": "elastic-scaling",
+            "attrs": {"policy": "lightweight", "over_active": [3, 7]},
+        }
+        assert rows[1]["attrs"]["instance"] == "tg0/mppdb1"

@@ -26,6 +26,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replay", "--scaling", "magic"])
 
+    def test_replay_obs_out(self):
+        args = build_parser().parse_args(["replay", "--obs-out", "out/"])
+        assert args.obs_out == "out/"
+        assert build_parser().parse_args(["replay"]).obs_out is None
+
+    def test_obs_requires_directory(self):
+        args = build_parser().parse_args(["obs", "report/", "--top", "3"])
+        assert args.directory == "report/"
+        assert args.top == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
 
 class TestCommands:
     _FAST = ["--tenants", "30", "--days", "7", "--sessions", "2", "--seed", "5"]
@@ -63,6 +75,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SLA met" in out
         assert "queries completed" in out
+
+    def test_replay_obs_out_writes_report_and_obs_reads_it(self, capsys, tmp_path):
+        out = tmp_path / "report"
+        assert main(["replay", "--replay-days", "0.25", "--obs-out", str(out), *self._FAST]) == 0
+        assert "observability report written" in capsys.readouterr().out
+        for filename in ("metrics.jsonl", "spans.jsonl", "summary.json"):
+            assert (out / filename).exists(), filename
+
+        assert main(["obs", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "queries submitted" in rendered
+        assert "groups by queries submitted" in rendered
+        assert "RT-TTP trajectory" in rendered
+        assert "Routing decisions" in rendered
+
+    def test_obs_on_missing_directory_exits_2(self, capsys, tmp_path):
+        assert main(["obs", str(tmp_path / "nothing-here")]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_repro_error_exits_2(self, capsys):
         # theta outside (0, 1) raises a ConfigurationError inside the

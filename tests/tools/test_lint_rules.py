@@ -305,6 +305,65 @@ class TestTHR006PublicAnnotations:
         assert good == []
 
 
+class TestTHR007NoBarePrint:
+    def test_fires_on_library_print(self, tmp_path):
+        bad = _lint_snippet(
+            tmp_path,
+            "src/repro/core/bad.py",
+            """
+            def report(done: int) -> None:
+                print(f"{done} queries done")
+            """,
+            select="THR007",
+        )
+        assert len(bad) == 1
+        assert "print()" in bad[0].message
+
+    def test_quiet_in_cli_and_main(self, tmp_path):
+        for relpath in ("src/repro/cli.py", "src/repro/__main__.py", "src/repro/tools/lint/__main__.py"):
+            good = _lint_snippet(
+                tmp_path,
+                relpath,
+                """
+                def main() -> int:
+                    print("presentation layer")
+                    return 0
+                """,
+                select="THR007",
+            )
+            assert good == [], relpath
+
+    def test_quiet_outside_repro_and_on_shadowed_print(self, tmp_path):
+        assert (
+            _lint_snippet(
+                tmp_path,
+                "examples/demo.py",
+                """
+                print("examples are presentation code")
+                """,
+                select="THR007",
+            )
+            == []
+        )
+        # A method *named* print is not the builtin.
+        assert (
+            _lint_snippet(
+                tmp_path,
+                "src/repro/analysis/good.py",
+                """
+                class Report:
+                    def render(self) -> str:
+                        return "table"
+
+                def show(report: Report, sink) -> None:
+                    sink.print(report.render())
+                """,
+                select="THR007",
+            )
+            == []
+        )
+
+
 class TestSuppression:
     def test_coded_noqa_suppresses_matching_rule_only(self, tmp_path):
         violations = _lint_snippet(
@@ -341,7 +400,9 @@ class TestSuppression:
         assert violations == []
 
 
-@pytest.mark.parametrize("code", ["THR001", "THR002", "THR003", "THR004", "THR005", "THR006"])
+@pytest.mark.parametrize(
+    "code", ["THR001", "THR002", "THR003", "THR004", "THR005", "THR006", "THR007"]
+)
 def test_every_rule_is_registered(code):
     from repro.tools.lint import rule_codes
 
