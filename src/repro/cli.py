@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--replay-days", type=float, default=1.0, help="days of logs to replay")
     replay.add_argument(
+        "--chaos-mtbf",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="arm random node failures with this per-node MTBF (chaos harness)",
+    )
+    replay.add_argument(
         "--obs-out",
         metavar="DIR",
         default=None,
@@ -170,23 +177,32 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     )
     service.deploy(workload)
     until = args.replay_days * DAY
+    armed = 0
+    if args.chaos_mtbf is not None:
+        armed = service.arm_chaos(args.chaos_mtbf, horizon=until)
     report = service.replay(until=until)
     sla = report.sla
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["replayed", format_duration(args.replay_days * DAY)],
-                ["queries completed", len(sla)],
-                ["SLA met", f"{sla.fraction_met:.2%}"],
-                ["mean normalized latency", f"{sla.mean_normalized():.3f}"],
-                ["worst normalized latency", f"{sla.worst_normalized:.2f}"],
-                ["effectiveness", f"{report.consolidation_effectiveness:.1%}"],
-                ["scaling actions", len(report.scaling_actions())],
-            ],
-            title="Replay report",
-        )
-    )
+    rows = [
+        ["replayed", format_duration(args.replay_days * DAY)],
+        ["queries completed", len(sla)],
+        ["SLA met", f"{sla.fraction_met:.2%}"],
+        ["mean normalized latency", f"{sla.mean_normalized():.3f}"],
+        ["worst normalized latency", f"{sla.worst_normalized:.2f}"],
+        ["effectiveness", f"{report.consolidation_effectiveness:.1%}"],
+        ["scaling actions", len(report.scaling_actions())],
+    ]
+    if args.chaos_mtbf is not None:
+        reports = report.group_reports.values()
+        chaos = service.chaos
+        rows += [
+            ["chaos failures armed", armed],
+            ["node failures", len(chaos.failures) if chaos is not None else 0],
+            ["queries retried", sum(r.queries_retried for r in reports)],
+            ["failovers", sum(r.failovers for r in reports)],
+            ["queries failed", sum(r.queries_failed for r in reports)],
+            ["worst rt_ttp", f"{min((r.rt_ttp_min() for r in reports), default=1.0):.5f}"],
+        ]
+    print(format_table(["metric", "value"], rows, title="Replay report"))
     for action in report.scaling_actions():
         print(
             f"  scaling at {format_duration(action.time)}: {action.kind} "
@@ -206,6 +222,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 "grouping": args.grouping,
                 "scaling": args.scaling,
                 "seed": args.seed,
+                "chaos_mtbf": args.chaos_mtbf,
             },
         )
         print(f"observability report written to {paths.directory}/")
@@ -297,6 +314,28 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(ascii_series([v for __, v in trajectory], label="rt_ttp"))
             low = min(trajectory, key=lambda tv: tv[1])
             print(f"  min {low[1]:.5f} at {format_duration(low[0])}")
+
+    faults = report.summary.get("faults", {})
+    if faults and faults.get("node_failures", 0):
+        print()
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["node failures", int(faults.get("node_failures", 0))],
+                    ["query retries", int(faults.get("query_retries", 0))],
+                    ["failovers", int(faults.get("failovers", 0))],
+                    ["queries failed", int(faults.get("queries_failed", 0))],
+                    *[
+                        [f"  degraded {name}", format_duration(seconds)]
+                        for name, seconds in sorted(
+                            faults.get("degraded_seconds_by_instance", {}).items()
+                        )
+                    ],
+                ],
+                title="Fault tolerance",
+            )
+        )
 
     routing = report.summary.get("routing_decisions", {})
     if routing:

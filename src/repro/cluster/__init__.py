@@ -8,6 +8,7 @@ availability tests.
 """
 
 from .failures import FailureInjector, NodeFailure
+from .health import HealthManager
 from .node import Node, NodeSpec, NodeState
 from .pool import MachinePool
 
@@ -18,4 +19,5 @@ __all__ = [
     "MachinePool",
     "FailureInjector",
     "NodeFailure",
+    "HealthManager",
 ]

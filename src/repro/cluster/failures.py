@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import ClusterError
 from ..simulation.engine import Simulator
+from .node import Node, NodeState
 from .pool import MachinePool
 
 __all__ = ["NodeFailure", "FailureInjector"]
@@ -64,35 +65,66 @@ class FailureInjector:
         self._rng = rng
         self._handlers: list[FailureHandler] = []
         self._failures: list[NodeFailure] = []
+        self._horizon: Optional[float] = None
+        self._hooked = False
 
     @property
     def failures(self) -> list[NodeFailure]:
         """All failures injected so far (copy)."""
         return list(self._failures)
 
+    @property
+    def horizon(self) -> Optional[float]:
+        """Time up to which failures are armed (None before :meth:`arm`)."""
+        return self._horizon
+
     def on_failure(self, handler: FailureHandler) -> None:
         """Register a callback invoked on every injected failure."""
         self._handlers.append(handler)
 
     def arm(self, horizon: float) -> int:
-        """Schedule failures for all currently in-use nodes up to ``horizon``.
+        """Schedule failures for all in-use nodes up to ``horizon``.
 
-        Each in-use node gets independent exponential inter-failure times;
-        returns the number of failure events scheduled.
+        Each in-use (starting or running) node gets independent exponential
+        inter-failure times; returns the number of failure events scheduled.
+        Nodes allocated *after* arming — elastic scale-out, node
+        replacement — are armed up to the same horizon through the pool's
+        allocation hook, so no node escapes the chaos schedule.
         """
+        self._horizon = float(horizon)
+        if not self._hooked:
+            self._pool.on_allocate(self._arm_allocated)
+            self._hooked = True
         scheduled = 0
-        for node in list(self._pool.nodes_in_state(self._running_state())):
-            t = self._sim.now
-            while True:
-                t += float(self._rng.exponential(self._mtbf))
-                if t >= horizon:
-                    break
-                self._sim.schedule(
-                    t,
-                    self._make_failure_callback(node.node_id),
-                    label=f"node-failure:{node.node_id}",
-                )
-                scheduled += 1
+        in_use = self._pool.nodes_in_state(NodeState.RUNNING) + self._pool.nodes_in_state(
+            NodeState.STARTING
+        )
+        for node in sorted(in_use, key=lambda n: n.node_id):
+            scheduled += self._schedule_node(node, horizon)
+        return scheduled
+
+    def _arm_allocated(self, nodes: list[Node]) -> None:
+        """Pool allocation hook: arm newly granted nodes up to the horizon."""
+        horizon = self._horizon
+        if horizon is None:
+            return
+        for node in nodes:
+            self._schedule_node(node, horizon)
+
+    def _schedule_node(self, node: Node, horizon: float) -> int:
+        """Draw one node's exponential failure times in ``[now, horizon)``."""
+        scheduled = 0
+        t = self._sim.now
+        while True:
+            t += float(self._rng.exponential(self._mtbf))
+            if t >= horizon:
+                break
+            self._sim.schedule(
+                t,
+                self._make_failure_callback(node.node_id),
+                label=f"node-failure:{node.node_id}",
+            )
+            scheduled += 1
         return scheduled
 
     def inject_now(self, node_id: int) -> NodeFailure:
@@ -103,7 +135,7 @@ class FailureInjector:
         def _cb(time: float) -> None:
             node = self._pool.node(node_id)
             # A node released or already failed since arming cannot fail again.
-            if node.assigned_to is None or node.state.value == "failed":
+            if node.assigned_to is None or node.state is NodeState.FAILED:
                 return
             self._fire(node_id, time)
 
@@ -118,9 +150,3 @@ class FailureInjector:
         for handler in self._handlers:
             handler(failure)
         return failure
-
-    @staticmethod
-    def _running_state():
-        from .node import NodeState
-
-        return NodeState.RUNNING

@@ -11,7 +11,7 @@ new node", Chapter 4.4).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..errors import CapacityError, ClusterError
 from .node import DEFAULT_NODE_SPEC, Node, NodeSpec, NodeState
@@ -49,6 +49,17 @@ class MachinePool:
         self._classes: dict[str, NodeSpec] = {"standard": spec}
         self._nodes: list[Node] = [Node(i, spec) for i in range(size)]
         self._rented = 0
+        self._alloc_handlers: list[Callable[[list[Node]], None]] = []
+
+    def on_allocate(self, handler: Callable[[list[Node]], None]) -> None:
+        """Register a callback invoked with every batch of granted nodes.
+
+        The failure injector uses this to arm failure schedules on nodes
+        allocated *after* :meth:`~repro.cluster.failures.FailureInjector.arm`
+        ran (elastic scale-out, node replacement) — without it, late
+        arrivals would be immortal.
+        """
+        self._alloc_handlers.append(handler)
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -147,6 +158,8 @@ class MachinePool:
         granted = available[:count]
         for node in granted:
             node.assign(owner)
+        for handler in self._alloc_handlers:
+            handler(list(granted))
         return granted
 
     def release(self, nodes: Iterable[Node]) -> None:

@@ -24,6 +24,7 @@
 
 from .advisor import DeploymentAdvisor
 from .deployment import DeploymentPlan, GroupDeployment
+from .fault import DEFAULT_RETRY_POLICY, FaultRecord, RetryPolicy
 from .divergent import (
     DivergentDesign,
     DivergentDesigner,
@@ -59,6 +60,9 @@ __all__ = [
     "DeploymentAdvisor",
     "DeploymentPlan",
     "GroupDeployment",
+    "RetryPolicy",
+    "FaultRecord",
+    "DEFAULT_RETRY_POLICY",
     "DivergentDesign",
     "DivergentDesigner",
     "minimum_tuning_nodes_for_templates",

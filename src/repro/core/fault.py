@@ -1,0 +1,123 @@
+"""Fault-tolerance policy: query retry with capped exponential backoff.
+
+Chapter 4.4 keeps Thrifty online under node failure: "Thrifty will replace
+a failed node by starting a new node upon receiving node failure
+notification", and the TDD design's replication factor ``A`` exists so an
+active tenant can be served by a surviving replica while the replacement
+loads.  This module holds the *query-side* half of that story:
+
+* :class:`RetryPolicy` — how often and how soon an aborted query is
+  resubmitted.  Delays are **simulated** seconds (the whole plane runs on
+  the discrete-event clock) and grow exponentially up to a cap, with
+  optional jitter drawn from a caller-supplied seeded generator so chaos
+  replays stay deterministic.
+* :class:`FaultRecord` — the typed terminal outcome of a query the plane
+  could *not* save: retries exhausted, or the graceful-degradation queue
+  deadline expired with no healthy replica (the ``R = 1`` case).  These
+  count against the SLA but never crash the replay.
+
+The machinery that applies the policy lives in
+:class:`~repro.core.runtime.GroupRuntime` (abort/retry/failover/park) and
+:class:`~repro.cluster.health.HealthManager` (instance health and node
+replacement); see ``docs/FAULT_TOLERANCE.md`` for the full failure model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import FailoverDeadlineError, FaultError, RetriesExhaustedError
+from ..units import HOUR
+
+__all__ = [
+    "RetryPolicy",
+    "FaultRecord",
+    "DEFAULT_RETRY_POLICY",
+    "REASON_RETRIES_EXHAUSTED",
+    "REASON_DEADLINE_EXCEEDED",
+]
+
+#: Terminal reason: the query was aborted more times than the retry cap.
+REASON_RETRIES_EXHAUSTED = "retries-exhausted"
+#: Terminal reason: no healthy replica appeared before the queue deadline.
+REASON_DEADLINE_EXCEEDED = "deadline-exceeded"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for queries aborted by instance failure.
+
+    Attempt ``n`` (1-based) waits ``base_delay_s * multiplier ** (n - 1)``
+    simulated seconds, capped at ``max_delay_s``.  With a non-zero
+    ``jitter_fraction`` and a generator supplied to :meth:`backoff_s`, the
+    delay is scaled by a uniform factor in ``1 ± jitter_fraction`` — under
+    a seeded :class:`~repro.rng.RngFactory` stream the schedule is exactly
+    reproducible.
+
+    ``queue_deadline_s`` bounds graceful degradation: a query parked
+    because *no* healthy replica hosts its tenant (replication factor 1,
+    or every replica degraded at once) waits at most this long for a
+    recovery before it fails with a :class:`~repro.errors.FailoverDeadlineError`.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 1.0
+    multiplier: float = 2.0
+    max_delay_s: float = 60.0
+    jitter_fraction: float = 0.0
+    queue_deadline_s: float = 4 * HOUR
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.base_delay_s < 0:
+            raise FaultError(f"base_delay_s must be non-negative, got {self.base_delay_s!r}")
+        if self.multiplier < 1.0:
+            raise FaultError(f"multiplier must be >= 1.0, got {self.multiplier!r}")
+        if self.max_delay_s < self.base_delay_s:
+            raise FaultError("max_delay_s must be >= base_delay_s")
+        if not (0.0 <= self.jitter_fraction < 1.0):
+            raise FaultError(f"jitter_fraction must be in [0, 1), got {self.jitter_fraction!r}")
+        if self.queue_deadline_s <= 0:
+            raise FaultError(f"queue_deadline_s must be positive, got {self.queue_deadline_s!r}")
+
+    def backoff_s(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Delay before retry number ``attempt`` (1-based), in simulated seconds."""
+        if attempt < 1:
+            raise FaultError(f"attempt must be >= 1, got {attempt!r}")
+        delay = min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+        if self.jitter_fraction > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter_fraction * float(rng.uniform(-1.0, 1.0))
+        return delay
+
+
+#: The policy used when a caller does not supply one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One query the fault-tolerance plane could not complete."""
+
+    tenant_id: int
+    group_name: str
+    template: str
+    submit_time_s: float
+    failed_time_s: float
+    reason: str
+    attempts: int
+
+    def as_error(self) -> FaultError:
+        """The typed error corresponding to this record's terminal reason."""
+        message = (
+            f"tenant {self.tenant_id} query {self.template!r} failed after "
+            f"{self.attempts} attempt(s): {self.reason}"
+        )
+        if self.reason == REASON_RETRIES_EXHAUSTED:
+            return RetriesExhaustedError(message)
+        if self.reason == REASON_DEADLINE_EXCEEDED:
+            return FailoverDeadlineError(message)
+        return FaultError(message)

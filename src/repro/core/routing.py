@@ -21,8 +21,8 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-from ..errors import RoutingError
-from ..mppdb.instance import MPPDBInstance
+from ..errors import NoHealthyInstanceError, RoutingError
+from ..mppdb.instance import InstanceState, MPPDBInstance
 from ..obs.profiling import profiled
 from ..rng import RngFactory
 
@@ -86,12 +86,33 @@ class QueryRouter(abc.ABC):
 
     @profiled("core.routing.route")
     def route(self, tenant_id: int) -> MPPDBInstance:
-        """Choose the instance a new query of ``tenant_id`` should run on."""
+        """Choose the instance a new query of ``tenant_id`` should run on.
+
+        Unhealthy (degraded/down) and still-provisioning instances are
+        skipped, so a tenant replicated with ``A >= 2`` transparently fails
+        over to a surviving replica.  When every hosting instance is
+        unavailable *because of failures or loading* the distinguishable
+        :class:`~repro.errors.NoHealthyInstanceError` is raised — the
+        run-time layer parks such queries until recovery instead of
+        treating them as routing bugs.
+        """
         pinned = self._pinned.get(tenant_id)
         if pinned is not None and pinned.is_ready:
             return pinned
         candidates = [i for i in self._instances if i.is_ready and i.hosts(tenant_id)]
         if not candidates:
+            unavailable = [
+                i
+                for i in self._instances
+                if i.hosts(tenant_id) and i.state is not InstanceState.RETIRED
+            ]
+            if unavailable:
+                states = ", ".join(
+                    f"{i.name}={i.state.value}" for i in unavailable
+                )
+                raise NoHealthyInstanceError(
+                    f"no healthy instance hosts tenant {tenant_id} ({states})"
+                )
             raise RoutingError(f"no ready instance hosts tenant {tenant_id}")
         return self._choose(tenant_id, candidates)
 

@@ -25,24 +25,37 @@ collection on the tenant's dedicated, exactly-sized MPPDB.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
-from ..errors import DeploymentError
+import numpy as np
+
+from ..errors import DeploymentError, NoHealthyInstanceError
 from ..mppdb.execution import QueryExecution
 from ..mppdb.instance import MPPDBInstance
 from ..mppdb.provisioning import Provisioner
 from ..obs.observer import NULL_OBSERVER, Observer
 from ..obs.tracing import STATUS_INFLIGHT, Span
 from ..simulation.engine import Simulator
+from ..simulation.events import ScheduledEvent
 from ..simulation.trace import TraceRecorder
 from ..units import MINUTE
 from ..workload.logs import QueryRecord, TenantLog
 from ..workload.queries import template_by_name
+from .fault import (
+    DEFAULT_RETRY_POLICY,
+    FaultRecord,
+    REASON_DEADLINE_EXCEEDED,
+    REASON_RETRIES_EXHAUSTED,
+    RetryPolicy,
+)
 from .master import DeployedGroup
 from .monitor import GroupActivityMonitor
 from .routing import QueryRouter, TDDRouter, classify_decision
 from .scaling import DisabledScaling, ScalingAction, ScalingPolicy
 from .sla import SLARecord, SLAReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a layer cycle)
+    from ..cluster.health import HealthManager
 
 __all__ = ["GroupRuntime", "RuntimeReport"]
 
@@ -92,6 +105,10 @@ class RuntimeReport:
     queries_completed: int
     overflow_queries: int
     trace: TraceRecorder = field(repr=False, default_factory=TraceRecorder)
+    queries_retried: int = 0
+    queries_failed: int = 0
+    failovers: int = 0
+    fault_records: list[FaultRecord] = field(default_factory=list)
 
     def rt_ttp_min(self) -> float:
         """Lowest RT-TTP sample observed."""
@@ -117,6 +134,9 @@ class GroupRuntime:
         trace: Optional[TraceRecorder] = None,
         closed_loop: bool = False,
         observer: Optional[Observer] = None,
+        fault: Optional[RetryPolicy] = None,
+        health: Optional["HealthManager"] = None,
+        fault_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if not (0 < sla_fraction <= 1):
             raise DeploymentError("sla_fraction must be in (0, 1]")
@@ -145,6 +165,23 @@ class GroupRuntime:
         self._completed = 0
         self._overflow = 0
         self._inflight: dict[tuple[str, int], QueryRecord] = {}
+        # Fault-tolerance plane: retry policy, attempt counts, park queue.
+        # All per-record dicts are keyed by ``id(record)`` (records live for
+        # the whole replay, so identities are stable) like _record_chain.
+        self._fault = fault if fault is not None else DEFAULT_RETRY_POLICY
+        self._fault_rng = fault_rng
+        self._health = health
+        self._attempts: dict[int, int] = {}
+        self._first_submit: dict[int, float] = {}
+        self._failed_instance: dict[int, str] = {}
+        self._parked: dict[int, tuple[int, QueryRecord]] = {}
+        self._park_deadline: dict[int, ScheduledEvent] = {}
+        self._retried = 0
+        self._failed_count = 0
+        self._failovers = 0
+        self._fault_records: list[FaultRecord] = []
+        if health is not None:
+            health.on_recover(self._on_instance_recovered)
         for spec in deployed.deployment.tenants:
             self._monitor.register_tenant(spec.tenant_id, spec.nodes_requested)
         self._wire_completions(deployed.instances)
@@ -181,8 +218,15 @@ class GroupRuntime:
             record = self._inflight.pop(key, None)
             if record is None:
                 return
+            rid = id(record)
+            finish = execution.finish_time if execution.finish_time is not None else 0.0
             self._completed += 1
-            self._monitor.on_query_finish(execution.tenant_id, execution.finish_time)
+            self._monitor.on_query_finish(execution.tenant_id, finish)
+            # A retried query's observed latency spans from its *first*
+            # submission, so retry backoff honestly counts against the SLA.
+            first = self._first_submit.pop(rid, execution.submit_time)
+            self._attempts.pop(rid, None)
+            self._failed_instance.pop(rid, None)
             sla_record = SLARecord(
                 tenant_id=execution.tenant_id,
                 group_name=self._deployed.group_name,
@@ -190,41 +234,73 @@ class GroupRuntime:
                 template=record.template,
                 submit_time_s=record.submit_time_s,
                 baseline_latency_s=record.latency_s,
-                observed_latency_s=execution.latency_s,
+                observed_latency_s=finish - first,
             )
             self._sla_records.append(sla_record)
-            self._observe_completion(record, sla_record, execution.finish_time)
-            self._on_record_complete(record, execution.finish_time)
+            self._observe_completion(record, sla_record, finish)
+            self._on_record_complete(record, finish)
+
+        def _aborted(execution: QueryExecution, _instance: MPPDBInstance = instance) -> None:
+            self._on_abort(execution, _instance)
 
         instance.engine.on_complete(_done)
+        instance.engine.on_abort(_aborted)
 
     def _submit(self, tenant_id: int, record: QueryRecord, time: float) -> None:
         spec = self._deployed.deployment.tenant(tenant_id)
-        instance = self._router.route(tenant_id)
+        rid = id(record)
+        observer = self._observer
+        group = self._deployed.group_name
+        if rid not in self._first_submit:
+            # First attempt: submission metrics and the lifecycle span are
+            # created exactly once, however many retries follow.
+            self._first_submit[rid] = time
+            if observer.enabled:
+                observer.queries_submitted.labels(group=group).inc(time)
+                span = observer.tracer.start_span(
+                    "query",
+                    time,
+                    kind="query",
+                    group=group,
+                    tenant=tenant_id,
+                    template=record.template,
+                )
+                span.add_event(time, "submit")
+                self._record_span[rid] = span
+        try:
+            instance = self._router.route(tenant_id)
+        except NoHealthyInstanceError:
+            # Graceful degradation: every hosting replica is degraded, down
+            # or loading — queue the query until an instance recovers.
+            self._park(tenant_id, record, time)
+            return
+        deadline_handle = self._park_deadline.pop(rid, None)
+        if deadline_handle is not None:
+            self._sim.cancel(deadline_handle)
+        self._attempts[rid] = attempt = self._attempts.get(rid, 0) + 1
+        failed_from = self._failed_instance.pop(rid, None)
         if instance not in self._wired:
             self._wire_instance(instance)
             self._wired.add(instance)
             if self._observer.enabled:
                 instance.engine.observe_with(self._observer, instance.name)
-        observer = self._observer
-        span: Optional[Span] = None
+        span = self._record_span.get(rid)
+        if failed_from is not None and instance.name != failed_from:
+            self._failovers += 1
+            if observer.enabled:
+                observer.failovers.labels(group=group).inc(time)
+            if span is not None:
+                span.add_event(
+                    time, "failover", failed=failed_from, survivor=instance.name
+                )
         if observer.enabled:
             # Classify and trace against the pre-submit state the router saw.
-            group = self._deployed.group_name
             outcome = classify_decision(self._router, tenant_id, instance)
-            observer.queries_submitted.labels(group=group).inc(time)
             observer.routing_decisions.labels(group=group, outcome=outcome).inc(time)
-            span = observer.tracer.start_span(
-                "query",
-                time,
-                kind="query",
-                group=group,
-                tenant=tenant_id,
-                template=record.template,
-            )
-            span.add_event(time, "submit")
-            span.add_event(time, "route", instance=instance.name, outcome=outcome)
-            self._record_span[id(record)] = span
+            if span is not None:
+                span.add_event(
+                    time, "route", instance=instance.name, outcome=outcome, attempt=attempt
+                )
         if instance is self._router.tuning_instance and instance.engine.busy and (
             tenant_id not in instance.active_tenants
         ):
@@ -258,6 +334,9 @@ class GroupRuntime:
             # (without a registered record), so settle the books here.
             self._completed += 1
             self._monitor.on_query_finish(tenant_id, time)
+            first = self._first_submit.pop(rid, time)
+            self._attempts.pop(rid, None)
+            self._failed_instance.pop(rid, None)
             sla_record = SLARecord(
                 tenant_id=tenant_id,
                 group_name=self._deployed.group_name,
@@ -265,7 +344,7 @@ class GroupRuntime:
                 template=record.template,
                 submit_time_s=record.submit_time_s,
                 baseline_latency_s=record.latency_s,
-                observed_latency_s=0.0,
+                observed_latency_s=time - first,
             )
             self._sla_records.append(sla_record)
             self._observe_completion(record, sla_record, time)
@@ -339,6 +418,126 @@ class GroupRuntime:
                 lambda t, _chain=chain: self._submit_event(_chain, t),
                 label="closed-loop-event",
             )
+
+    def _on_abort(self, execution: QueryExecution, instance: MPPDBInstance) -> None:
+        """An instance failure killed this in-flight query; retry or fail.
+
+        The monitor sees a finish (the query is no longer running), then
+        the record is either rescheduled with capped exponential backoff in
+        sim-time or — after ``max_attempts`` submissions — surfaced as a
+        typed :class:`~repro.core.fault.FaultRecord`.  Retried submissions
+        do NOT increment ``queries_submitted``; the completion that
+        eventually lands settles against the first submission's clock.
+        """
+        key = (instance.name, execution.query_id)
+        record = self._inflight.pop(key, None)
+        if record is None:
+            return
+        now = self._sim.now
+        rid = id(record)
+        self._monitor.on_query_finish(execution.tenant_id, now)
+        self._failed_instance[rid] = instance.name
+        attempt = self._attempts.get(rid, 1)
+        span = self._record_span.get(rid)
+        if span is not None:
+            span.add_event(
+                now,
+                "abort",
+                instance=instance.name,
+                attempt=attempt,
+                remaining_s=round(execution.remaining_work_s, 6),
+            )
+        if attempt >= self._fault.max_attempts:
+            self._fail_record(
+                execution.tenant_id, record, now, REASON_RETRIES_EXHAUSTED
+            )
+            return
+        delay = self._fault.backoff_s(attempt, self._fault_rng)
+        self._retried += 1
+        if self._observer.enabled:
+            self._observer.query_retries.labels(group=self._deployed.group_name).inc(now)
+        if span is not None:
+            span.add_event(now, "retry", delay_s=round(delay, 6), attempt=attempt + 1)
+        self._trace.record(
+            now, "query-retry", tenant=execution.tenant_id, attempt=attempt + 1, delay_s=delay
+        )
+        self._sim.schedule_after(
+            delay,
+            lambda t, _tid=execution.tenant_id, _r=record: self._submit(_tid, _r, t),
+            label="query-retry",
+        )
+
+    def _park(self, tenant_id: int, record: QueryRecord, time: float) -> None:
+        """Queue a query for which no healthy replica exists right now.
+
+        Parked queries are resubmitted when the health manager reports an
+        instance recovery; each park episode carries a deadline after which
+        the query fails with ``deadline-exceeded`` (graceful degradation
+        for ``R = 1`` groups: no crash, a typed failure).
+        """
+        rid = id(record)
+        self._parked[rid] = (tenant_id, record)
+        span = self._record_span.get(rid)
+        if span is not None:
+            span.add_event(time, "park")
+        self._trace.record(time, "query-parked", tenant=tenant_id)
+        if rid not in self._park_deadline:
+            self._park_deadline[rid] = self._sim.schedule(
+                time + self._fault.queue_deadline_s,
+                lambda t, _tid=tenant_id, _r=record: self._park_expired(_tid, _r, t),
+                label="fault-deadline",
+            )
+
+    def _park_expired(self, tenant_id: int, record: QueryRecord, time: float) -> None:
+        """A parked query's deadline hit before any replica recovered."""
+        rid = id(record)
+        self._park_deadline.pop(rid, None)
+        if self._parked.pop(rid, None) is None:
+            return
+        self._fail_record(tenant_id, record, time, REASON_DEADLINE_EXCEEDED)
+
+    def _on_instance_recovered(self, instance: MPPDBInstance, time: float) -> None:
+        """Health-manager recovery: drain the park queue through the router."""
+        if not self._parked:
+            return
+        pending = list(self._parked.items())
+        self._parked.clear()
+        for _rid, (tenant_id, record) in pending:
+            self._submit(tenant_id, record, time)
+
+    def _fail_record(
+        self, tenant_id: int, record: QueryRecord, time: float, reason: str
+    ) -> None:
+        """Surface a query that fault handling could not save."""
+        rid = id(record)
+        attempts = self._attempts.pop(rid, 0)
+        self._first_submit.pop(rid, None)
+        self._failed_instance.pop(rid, None)
+        self._fault_records.append(
+            FaultRecord(
+                tenant_id=tenant_id,
+                group_name=self._deployed.group_name,
+                template=record.template,
+                submit_time_s=record.submit_time_s,
+                failed_time_s=time,
+                reason=reason,
+                attempts=attempts,
+            )
+        )
+        self._failed_count += 1
+        self._trace.record(
+            time, "query-failed", tenant=tenant_id, reason=reason, attempts=attempts
+        )
+        observer = self._observer
+        if observer.enabled:
+            group = self._deployed.group_name
+            observer.queries_failed.labels(group=group).inc(time)
+            observer.sla_violations.labels(group=group).inc(time)
+        span = self._record_span.pop(rid, None)
+        if span is not None:
+            span.add_event(time, "failed", reason=reason, attempts=attempts)
+            span.end(time, status="failed")
+        self._on_record_complete(record, time)
 
     def _observe_completion(self, record: QueryRecord, sla_record: SLARecord, time: float) -> None:
         """Emit terminal-state metrics and close the query's span."""
@@ -450,4 +649,8 @@ class GroupRuntime:
             queries_completed=self._completed,
             overflow_queries=self._overflow,
             trace=self._trace,
+            queries_retried=self._retried,
+            queries_failed=self._failed_count,
+            failovers=self._failovers,
+            fault_records=list(self._fault_records),
         )

@@ -19,17 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..cluster.failures import FailureInjector
+from ..cluster.health import HealthManager
 from ..cluster.pool import MachinePool
 from ..config import EvaluationConfig
 from ..errors import DeploymentError
 from ..mppdb.loading import LoadTimeModel
 from ..mppdb.provisioning import Provisioner
 from ..obs.observer import NULL_OBSERVER, Observer
+from ..rng import RngFactory
 from ..simulation.engine import Simulator
 from ..simulation.trace import TraceRecorder
 from ..units import MINUTE
 from ..workload.composer import ComposedWorkload
 from .advisor import AdvisorResult, DeploymentAdvisor
+from .fault import RetryPolicy
 from .master import DeploymentMaster
 from .monitor import TenantActivityMonitor
 from .pricing import PricingModel, TenantInvoice
@@ -88,6 +92,7 @@ class ServiceReport:
     def summary(self) -> dict[str, float]:
         """Headline service metrics."""
         sla = self.sla
+        reports = self.group_reports.values()
         return {
             "groups": float(len(self.group_reports)),
             "queries": float(len(sla)),
@@ -96,6 +101,9 @@ class ServiceReport:
             "nodes_requested": float(self.nodes_requested),
             "effectiveness": self.consolidation_effectiveness,
             "scaling_actions": float(len(self.scaling_actions())),
+            "queries_retried": float(sum(r.queries_retried for r in reports)),
+            "queries_failed": float(sum(r.queries_failed for r in reports)),
+            "failovers": float(sum(r.failovers for r in reports)),
         }
 
 
@@ -111,6 +119,7 @@ class ThriftyService:
         pool: Optional[MachinePool] = None,
         monitor_interval_s: float = 10 * MINUTE,
         observer: Optional[Observer] = None,
+        fault: Optional[RetryPolicy] = None,
     ) -> None:
         if scaling not in SCALING_POLICIES:
             raise DeploymentError(
@@ -120,6 +129,11 @@ class ThriftyService:
         self.simulator = Simulator()
         self.pool = pool if pool is not None else MachinePool(elastic=True)
         self.provisioner = Provisioner(self.simulator, self.pool, load_model)
+        self.health = HealthManager(
+            self.pool, self.provisioner, self.simulator, observer=observer
+        )
+        self._fault = fault
+        self._chaos: Optional[FailureInjector] = None
         self.advisor = DeploymentAdvisor(config, grouping=grouping)
         self.master = DeploymentMaster(self.provisioner)
         self.monitor = TenantActivityMonitor(config.replication_factor)
@@ -141,6 +155,33 @@ class ThriftyService:
         if self._advice is None:
             raise DeploymentError("deploy() has not been called")
         return self._advice
+
+    @property
+    def chaos(self) -> Optional[FailureInjector]:
+        """The chaos injector, if :meth:`arm_chaos` has run."""
+        return self._chaos
+
+    def arm_chaos(
+        self, mtbf_s: float, horizon: float, seed: Optional[int] = None
+    ) -> int:
+        """Arm random node failures over the replay horizon (chaos harness).
+
+        Every in-use node draws exponential inter-failure times with mean
+        ``mtbf_s`` from a dedicated seeded stream (``config.seed`` unless
+        ``seed`` overrides it), so chaos replays are exactly reproducible.
+        The health manager is subscribed before arming: each failure
+        degrades its instance, aborts in-flight queries for retry, and
+        starts a replacement node.  Returns the number of failure events
+        scheduled up front; nodes allocated later are armed on allocation.
+        """
+        if self._chaos is not None:
+            raise DeploymentError("chaos is already armed")
+        rng = RngFactory(self.config.seed if seed is None else seed).stream(
+            "chaos", "injector"
+        )
+        self._chaos = FailureInjector(self.pool, self.simulator, mtbf_s, rng)
+        self.health.watch(self._chaos)
+        return self._chaos.arm(horizon)
 
     def _historical_fractions(self) -> dict[int, float]:
         """Per-tenant planned active fraction, from the advisor's matrix."""
@@ -215,10 +256,14 @@ class ThriftyService:
                 monitor_interval_s=self._monitor_interval,
                 trace=self.trace,
                 observer=self.observer,
+                fault=self._fault,
+                health=self.health,
+                fault_rng=RngFactory(self.config.seed).stream("fault", name),
             )
             runtime.schedule(until)
             self._runtimes[name] = runtime
         self.simulator.run(until=until)
+        self.health.finalize(self.simulator.now)
         for name in wanted:
             self._runtimes[name].finalize_observation(self.simulator.now)
         reports = {name: self._runtimes[name].report() for name in wanted}

@@ -22,8 +22,12 @@ __all__ = [
     "PackingError",
     "InfeasiblePackingError",
     "RoutingError",
+    "NoHealthyInstanceError",
     "DeploymentError",
     "ScalingError",
+    "FaultError",
+    "RetriesExhaustedError",
+    "FailoverDeadlineError",
     "LintError",
     "ObservabilityError",
 ]
@@ -83,12 +87,33 @@ class RoutingError(ReproError):
     """The query router was asked to route against an invalid deployment."""
 
 
+class NoHealthyInstanceError(RoutingError):
+    """Every instance hosting the tenant is degraded, down, or provisioning.
+
+    Distinct from the base :class:`RoutingError` (tenant not deployed at
+    all) so the fault-tolerance plane can queue the query until a replica
+    recovers instead of treating it as a configuration error.
+    """
+
+
 class DeploymentError(ReproError):
     """Deployment advisor / master level failure."""
 
 
 class ScalingError(ReproError):
     """Elastic-scaling level failure."""
+
+
+class FaultError(ReproError):
+    """A query could not be completed despite fault handling."""
+
+
+class RetriesExhaustedError(FaultError):
+    """A query was aborted by node failures more times than the retry cap."""
+
+
+class FailoverDeadlineError(FaultError):
+    """A query queued for a healthy replica ran out its graceful-degradation deadline."""
 
 
 class LintError(ReproError):

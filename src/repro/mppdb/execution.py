@@ -40,12 +40,18 @@ class QueryExecution:
         self.submit_time = submit_time
         self.label = label
         self.finish_time: Optional[float] = None
+        self.abort_time: Optional[float] = None
         self._remaining = work_s
 
     @property
     def finished(self) -> bool:
         """Whether the query has completed."""
         return self.finish_time is not None
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the query was aborted (instance failure) before finishing."""
+        return self.abort_time is not None
 
     @property
     def remaining_work_s(self) -> float:
@@ -88,6 +94,7 @@ class ExecutionEngine:
         self._last_settle = simulator.now
         self._completion_handle: Optional[ScheduledEvent] = None
         self._on_complete: list[CompletionCallback] = []
+        self._on_abort: list[CompletionCallback] = []
         self._completed: list[QueryExecution] = []
         self._observer: Optional["Observer"] = None
         self._instance_name = ""
@@ -125,6 +132,33 @@ class ExecutionEngine:
     def on_complete(self, callback: CompletionCallback) -> None:
         """Register a callback fired for every query completion."""
         self._on_complete.append(callback)
+
+    def on_abort(self, callback: CompletionCallback) -> None:
+        """Register a callback fired for every aborted query."""
+        self._on_abort.append(callback)
+
+    def abort_all(self) -> list[QueryExecution]:
+        """Abort every running query (instance failure).
+
+        MPP queries straddle all of an instance's nodes, so losing a node
+        kills whatever is in flight.  Progress is settled first (so
+        ``remaining_work_s`` reflects the abort instant), the completion
+        event is cancelled, and abort callbacks fire in query-id order —
+        the run-time layer uses them to retry on a surviving replica.
+        """
+        if not self._running:
+            return []
+        self._settle()
+        aborted = sorted(self._running.values(), key=lambda q: q.query_id)
+        self._running.clear()
+        self._reschedule()
+        now = self._sim.now
+        for execution in aborted:
+            execution.abort_time = now
+        for execution in aborted:
+            for callback in self._on_abort:
+                callback(execution)
+        return aborted
 
     def submit(self, tenant_id: int, work_s: float, label: str = "") -> QueryExecution:
         """Start a query owing ``work_s`` seconds of dedicated service.

@@ -20,10 +20,19 @@ __all__ = ["InstanceState", "MPPDBInstance"]
 
 
 class InstanceState(enum.Enum):
-    """Lifecycle of an instance."""
+    """Lifecycle of an instance.
+
+    ``DEGRADED`` and ``DOWN`` are the fault-tolerance states (Chapter 4.4):
+    a degraded instance lost at least one node and stops accepting queries
+    until the replacement has loaded; a down instance has no healthy worker
+    left (or no replacement could be allocated).  Both recover to ``READY``
+    once every failed node has been replaced and re-loaded.
+    """
 
     PROVISIONING = "provisioning"
     READY = "ready"
+    DEGRADED = "degraded"
+    DOWN = "down"
     RETIRED = "retired"
 
 
@@ -71,6 +80,11 @@ class MPPDBInstance:
         self._state = InstanceState.PROVISIONING
         self._ready_time: Optional[float] = None
         self._sim = simulator
+        # Fault-tolerance bookkeeping: nodes currently failed (awaiting a
+        # replacement) and replacements still loading, keyed by the token
+        # the provisioning layer issued for that replacement.
+        self._failed_nodes: set[int] = set()
+        self._recovering_nodes: dict[int, int] = {}
 
     @property
     def state(self) -> InstanceState:
@@ -97,11 +111,33 @@ class MPPDBInstance:
         """Tenants with queries currently running on this instance."""
         return self.engine.active_tenants
 
+    @property
+    def failed_nodes(self) -> set[int]:
+        """Nodes that failed and still await a replacement (copy)."""
+        return set(self._failed_nodes)
+
+    @property
+    def recovering_nodes(self) -> set[int]:
+        """Replacement nodes still loading their data shard (copy)."""
+        return set(self._recovering_nodes)
+
+    @property
+    def impaired_node_count(self) -> int:
+        """Nodes currently not serving: failed plus still-loading replacements."""
+        return len(self._failed_nodes) + len(self._recovering_nodes)
+
     def mark_ready(self) -> None:
-        """Transition to READY (called by the provisioning layer)."""
+        """Transition to READY (called by the provisioning layer).
+
+        An instance that lost nodes *while provisioning* comes up DEGRADED
+        instead and recovers through the node-replacement path.
+        """
         if self._state != InstanceState.PROVISIONING:
             raise MPPDBError(f"instance {self.name!r} cannot become ready from {self._state.value}")
-        self._state = InstanceState.READY
+        if self.impaired_node_count:
+            self._state = InstanceState.DEGRADED
+        else:
+            self._state = InstanceState.READY
         self._ready_time = self._sim.now
 
     def retire(self) -> None:
@@ -109,6 +145,70 @@ class MPPDBInstance:
         if self._state == InstanceState.RETIRED:
             raise MPPDBError(f"instance {self.name!r} is already retired")
         self._state = InstanceState.RETIRED
+
+    def record_node_failure(self, node_id: int) -> None:
+        """A node backing this instance failed (Chapter 4.4 notification).
+
+        A READY instance degrades; when *every* node is impaired the
+        instance is DOWN.  A failed replacement-in-loading is moved from
+        the recovering set back to the failed set so a fresh replacement
+        can be issued.
+        """
+        if self.node_ids and node_id not in self.node_ids:
+            raise MPPDBError(f"node {node_id} does not back instance {self.name!r}")
+        self._recovering_nodes.pop(node_id, None)
+        self._failed_nodes.add(node_id)
+        if self._state in (InstanceState.READY, InstanceState.DEGRADED, InstanceState.DOWN):
+            if self.impaired_node_count >= self.parallelism:
+                self._state = InstanceState.DOWN
+            else:
+                self._state = InstanceState.DEGRADED
+
+    def mark_down(self) -> None:
+        """Take the instance out of service (e.g. no replacement capacity)."""
+        if self._state in (InstanceState.RETIRED,):
+            raise MPPDBError(f"instance {self.name!r} is retired")
+        self._state = InstanceState.DOWN
+
+    def begin_node_replacement(self, failed_node_id: int, new_node_id: int, token: int) -> None:
+        """Swap a failed node for a freshly allocated one that starts loading.
+
+        The newcomer joins ``node_ids`` immediately but counts as impaired
+        until :meth:`complete_node_replacement` is called with the same
+        ``token`` (tokens guard against stale completion events when a
+        replacement itself fails mid-load).
+        """
+        if failed_node_id not in self._failed_nodes:
+            raise MPPDBError(
+                f"node {failed_node_id} of instance {self.name!r} is not marked failed"
+            )
+        self._failed_nodes.discard(failed_node_id)
+        self._recovering_nodes[new_node_id] = token
+        if self.node_ids:
+            self.node_ids = tuple(
+                new_node_id if node_id == failed_node_id else node_id
+                for node_id in self.node_ids
+            )
+
+    def complete_node_replacement(self, new_node_id: int, token: int) -> bool:
+        """A replacement finished loading; returns False for stale events.
+
+        When the last impaired node is replaced, a DEGRADED/DOWN instance
+        flips back to READY.
+        """
+        if self._recovering_nodes.get(new_node_id) != token:
+            return False
+        del self._recovering_nodes[new_node_id]
+        if not self.impaired_node_count and self._state in (
+            InstanceState.DEGRADED,
+            InstanceState.DOWN,
+        ):
+            self._state = InstanceState.READY
+        return True
+
+    def abort_running(self) -> list[QueryExecution]:
+        """Abort all in-flight queries (node failure kills MPP executions)."""
+        return self.engine.abort_all()
 
     def deploy_tenant(self, tenant: TenantData) -> None:
         """Add a tenant's data to the catalog (placement step)."""

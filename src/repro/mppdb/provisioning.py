@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable, Optional
 
+from ..cluster.node import NodeState
 from ..cluster.pool import MachinePool
 from ..errors import MPPDBError
 from ..simulation.engine import Simulator
@@ -37,6 +38,7 @@ class Provisioner:
         self._pool = pool
         self._load_model = load_model if load_model is not None else LoadTimeModel()
         self._counter = itertools.count()
+        self._replace_tokens = itertools.count()
         self._instances: dict[str, MPPDBInstance] = {}
 
     @property
@@ -101,7 +103,7 @@ class Provisioner:
             if self._pool is not None:
                 for node_id in instance.node_ids:
                     node = self._pool.node(node_id)
-                    if node.state.value == "starting":
+                    if node.state is NodeState.STARTING:
                         node.mark_running()
             instance.mark_ready()
             if on_ready is not None:
@@ -124,6 +126,50 @@ class Provisioner:
         """Predicted time-to-ready for a prospective instance."""
         total_gb = sum(t.data_gb for t in tenants)
         return self._load_model.provision_seconds(parallelism, total_gb)
+
+    def replace_node(
+        self,
+        instance: MPPDBInstance,
+        failed_node_id: int,
+        on_ready: Optional[Callable[[MPPDBInstance, float], None]] = None,
+    ) -> float:
+        """Replace a failed node of ``instance``; returns the reload delay.
+
+        "Thrifty will replace a failed node by starting a new node upon
+        receiving node failure notification" (Chapter 4.4).  The replacement
+        is drawn from the pool (renting when elastic), then pays startup plus
+        the bulk-load time of the failed node's data *shard* — one node's
+        worth of the instance's catalog.  ``on_ready`` fires when the
+        replacement finishes loading; completions are token-guarded so a
+        replacement that itself fails mid-load cannot be marked healthy by
+        its stale completion event.
+
+        Raises :class:`~repro.errors.CapacityError` when the pool cannot
+        supply a replacement (inelastic pool, nothing available).
+        """
+        if self._pool is None:
+            raise MPPDBError("replace_node requires a machine pool")
+        if instance.node_ids and failed_node_id not in instance.node_ids:
+            raise MPPDBError(
+                f"node {failed_node_id} does not back instance {instance.name!r}"
+            )
+        failed = self._pool.node(failed_node_id)
+        replacement = self._pool.replace_failed(failed, owner=instance.name)
+        token = next(self._replace_tokens)
+        instance.begin_node_replacement(failed_node_id, replacement.node_id, token)
+        shard_gb = instance.catalog.total_data_gb / instance.parallelism
+        delay = self._load_model.provision_seconds(1, shard_gb)
+
+        def _replaced(time: float) -> None:
+            if not instance.complete_node_replacement(replacement.node_id, token):
+                return
+            if replacement.state is NodeState.STARTING:
+                replacement.mark_running()
+            if on_ready is not None:
+                on_ready(instance, time)
+
+        self._sim.schedule_after(delay, _replaced, label=f"replace:{instance.name}")
+        return delay
 
     def retire(self, instance: MPPDBInstance) -> None:
         """Retire an instance and hibernate its nodes."""

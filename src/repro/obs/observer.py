@@ -105,6 +105,34 @@ class Observer:
             ("instance",),
             buckets=DEFAULT_CONCURRENCY_BUCKETS,
         )
+        #: Node failures handled by the health manager, per owning instance.
+        self.node_failures: Counter = m.counter(
+            "thrifty_node_failures_total", "node failures handled", ("instance",)
+        )
+        #: Query retry attempts after an instance failure aborted them.
+        self.query_retries: Counter = m.counter(
+            "thrifty_query_retries_total", "query retry attempts", ("group",)
+        )
+        #: Retries that landed on a different instance than the failed one.
+        self.failovers: Counter = m.counter(
+            "thrifty_failovers_total", "queries failed over to a surviving replica", ("group",)
+        )
+        #: Queries that exhausted fault handling (typed FaultError outcomes).
+        self.queries_failed: Counter = m.counter(
+            "thrifty_queries_failed_total", "queries failed after fault handling", ("group",)
+        )
+        #: Cumulative time instances spent not-READY because of failures.
+        self.instance_degraded_seconds: Counter = m.counter(
+            "thrifty_instance_degraded_seconds",
+            "cumulative seconds an instance was degraded or down",
+            ("instance",),
+        )
+        #: Time to restore a failed node (allocation + startup + shard reload).
+        self.replacement_time: Histogram = m.histogram(
+            "thrifty_node_replacement_seconds",
+            "node replacement time from failure to ready",
+            ("instance",),
+        )
 
     @property
     def enabled(self) -> bool:

@@ -123,6 +123,14 @@ def build_summary(
     for (_, outcome), value in per_pair.items():
         routing[outcome] = routing.get(outcome, 0.0) + value
 
+    node_failures = _counter_last_by_label(sink, "thrifty_node_failures_total", "instance")
+    retries = _counter_last_by_label(sink, "thrifty_query_retries_total", "group")
+    failovers = _counter_last_by_label(sink, "thrifty_failovers_total", "group")
+    failed = _counter_last_by_label(sink, "thrifty_queries_failed_total", "group")
+    degraded = _counter_last_by_label(
+        sink, "thrifty_instance_degraded_seconds", "instance"
+    )
+
     scaling = [span.as_dict() for span in sink.spans_of("scaling")]
     by_status: dict[str, int] = {}
     query_spans = 0
@@ -148,6 +156,14 @@ def build_summary(
         "routing_decisions": dict(sorted(routing.items())),
         "scaling_actions": scaling,
         "simulator_events": dict(sorted((simulator_events or {}).items())),
+        "faults": {
+            "node_failures": sum(node_failures.values()),
+            "node_failures_by_instance": dict(sorted(node_failures.items())),
+            "query_retries": sum(retries.values()),
+            "failovers": sum(failovers.values()),
+            "queries_failed": sum(failed.values()),
+            "degraded_seconds_by_instance": dict(sorted(degraded.items())),
+        },
     }
     profiler = observer.profiler if observer is not None else None
     if profiler is not None:

@@ -22,6 +22,7 @@ __all__ = [
     "BroadExceptRule",
     "PublicAnnotationRule",
     "NoBarePrintRule",
+    "EnumValueComparisonRule",
 ]
 
 #: Layers whose behaviour is replayed deterministically (THR001 scope).
@@ -356,3 +357,50 @@ class NoBarePrintRule(Rule):
                     "bare print() in library code; emit through a repro.obs "
                     "sink (or return the text to the CLI presentation layer)",
                 )
+
+
+@register
+class EnumValueComparisonRule(Rule):
+    """THR008 — lifecycle states compare as enums, not via ``.value`` strings.
+
+    ``node.state.value == "failed"`` type-checks, survives renames of the
+    *member* while silently breaking on renames of the *string*, and
+    defeats both mypy's exhaustiveness analysis and grep-for-member
+    refactors.  The fault-tolerance plane grew the instance lifecycle by
+    two states (DEGRADED, DOWN); every stringly-typed comparison is a
+    latent misroute.  Compare identity instead:
+    ``node.state is NodeState.FAILED``.
+    """
+
+    code = "THR008"
+    summary = 'no enum `.value == "literal"` comparisons in library code; compare members'
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_repro():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_value_vs_string(left, right) or self._is_value_vs_string(
+                    right, left
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        'enum `.value` compared against a string literal; compare '
+                        "the members themselves (e.g. `state is NodeState.FAILED`)",
+                    )
+                    break
+
+    @staticmethod
+    def _is_value_vs_string(value_side: ast.expr, literal_side: ast.expr) -> bool:
+        return (
+            isinstance(value_side, ast.Attribute)
+            and value_side.attr == "value"
+            and isinstance(literal_side, ast.Constant)
+            and isinstance(literal_side.value, str)
+        )

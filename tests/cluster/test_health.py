@@ -1,0 +1,158 @@
+"""HealthManager scenarios: degrade, replace, recover, run out of capacity."""
+
+import pytest
+
+from repro.cluster.failures import FailureInjector, NodeFailure
+from repro.cluster.health import HealthManager
+from repro.mppdb.catalog import TenantData
+from repro.mppdb.instance import InstanceState
+from repro.mppdb.provisioning import Provisioner
+from repro.obs import MemorySink, Observer
+from repro.rng import RngFactory
+from repro.simulation.engine import Simulator
+
+
+def _setup(pool_size=8, elastic=True, observer=None, parallelism=2):
+    from repro.cluster.pool import MachinePool
+
+    sim = Simulator()
+    pool = MachinePool(pool_size, elastic=elastic)
+    provisioner = Provisioner(sim, pool=pool)
+    health = HealthManager(pool, provisioner, sim, observer=observer)
+    injector = FailureInjector(pool, sim, 1e12, RngFactory(5).stream("chaos", "t"))
+    health.watch(injector)
+    instance = provisioner.provision(
+        parallelism, [TenantData(tenant_id=1, data_gb=4.0)], name="tg0/mppdb0", instant=True
+    )
+    return sim, pool, provisioner, health, injector, instance
+
+
+class TestFailureHandling:
+    def test_failure_degrades_and_replaces(self):
+        sim, pool, provisioner, health, injector, instance = _setup()
+        execution = instance.submit_query(1, 500.0)
+        sim.run(until=10.0)
+        victim = instance.node_ids[0]
+        injector.inject_now(victim)
+
+        assert instance.state is InstanceState.DEGRADED
+        assert execution.aborted
+        assert health.node_failures_handled == 1
+        assert health.replacements_started == 1
+        assert health.degraded_instances == ["tg0/mppdb0"]
+        # The replacement is a different node, already swapped into node_ids.
+        assert victim not in instance.node_ids
+
+    def test_recovery_restores_ready_and_fires_handlers(self):
+        sim, _, provisioner, health, injector, instance = _setup()
+        recoveries = []
+        health.on_recover(lambda inst, t: recoveries.append((inst.name, t)))
+        injector.inject_now(instance.node_ids[0])
+        shard_gb = instance.catalog.total_data_gb / instance.parallelism
+        delay = provisioner.load_model.provision_seconds(1, shard_gb)
+        sim.run()
+
+        assert instance.state is InstanceState.READY
+        assert health.replacements_completed == 1
+        assert health.degraded_instances == []
+        assert recoveries == [("tg0/mppdb0", pytest.approx(delay))]
+
+    def test_degraded_seconds_metric(self):
+        observer = Observer(MemorySink())
+        sim, _, provisioner, health, injector, instance = _setup(observer=observer)
+        injector.inject_now(instance.node_ids[0])
+        shard_gb = instance.catalog.total_data_gb / instance.parallelism
+        delay = provisioner.load_model.provision_seconds(1, shard_gb)
+        sim.run()
+
+        assert observer.node_failures.value(instance="tg0/mppdb0") == 1.0
+        assert observer.instance_degraded_seconds.value(
+            instance="tg0/mppdb0"
+        ) == pytest.approx(delay)
+
+    def test_replace_span_lifecycle(self):
+        sink = MemorySink()
+        sim, _, _, health, injector, instance = _setup(observer=Observer(sink))
+        injector.inject_now(instance.node_ids[0])
+        sim.run()
+        spans = [s for s in sink.spans if s.name == "replace"]
+        assert len(spans) == 1
+        (span,) = spans
+        assert span.kind == "fault"
+        assert span.status == "replaced"
+        assert any(e.name == "recovered" for e in span.events)
+
+
+class TestCapacityExhaustion:
+    def test_no_capacity_marks_instance_down(self):
+        sink = MemorySink()
+        sim, pool, _, health, injector, instance = _setup(
+            pool_size=2, elastic=False, observer=Observer(sink)
+        )
+        assert pool.available_count == 0
+        injector.inject_now(instance.node_ids[0])
+
+        assert instance.state is InstanceState.DOWN
+        assert health.replacements_started == 0
+        spans = [s for s in sink.spans if s.name == "replace"]
+        assert spans and spans[0].status == "no-capacity"
+
+
+class TestIgnoredFailures:
+    def test_unowned_failure_ignored(self):
+        _, _, _, health, _, instance = _setup()
+        health.handle_failure(NodeFailure(node_id=0, time=0.0, owner=None))
+        assert health.node_failures_handled == 0
+        assert instance.state is InstanceState.READY
+
+    def test_foreign_owner_ignored(self):
+        _, _, _, health, _, instance = _setup()
+        health.handle_failure(NodeFailure(node_id=0, time=0.0, owner="not-an-mppdb"))
+        assert health.node_failures_handled == 0
+
+    def test_retired_instance_ignored(self):
+        sim, _, provisioner, health, injector, instance = _setup()
+        node_id = instance.node_ids[0]
+        provisioner.retire(instance)
+        health.handle_failure(NodeFailure(node_id=node_id, time=sim.now, owner=instance.name))
+        assert health.node_failures_handled == 0
+        assert instance.state is InstanceState.RETIRED
+
+
+class TestProvisioningWindowFailures:
+    def test_failure_during_provisioning_replaced_silently(self):
+        from repro.cluster.pool import MachinePool
+
+        sim = Simulator()
+        pool = MachinePool(8)
+        provisioner = Provisioner(sim, pool=pool)
+        health = HealthManager(pool, provisioner, sim)
+        injector = FailureInjector(pool, sim, 1e12, RngFactory(5).stream("chaos", "t"))
+        health.watch(injector)
+        instance = provisioner.provision(
+            2, [TenantData(tenant_id=1, data_gb=4.0)], name="tg0/mppdb0"
+        )
+        assert instance.state is InstanceState.PROVISIONING
+        sim.schedule(5.0, lambda t: injector.inject_now(instance.node_ids[0]))
+        sim.run()
+
+        assert health.node_failures_handled == 1
+        assert health.replacements_completed == 1
+        assert instance.state is InstanceState.READY
+
+
+class TestFinalize:
+    def test_finalize_accounts_open_episode(self):
+        sink = MemorySink()
+        observer = Observer(sink)
+        sim, _, _, health, injector, instance = _setup(observer=observer)
+        injector.inject_now(instance.node_ids[0])
+        # Horizon hits while the replacement is still loading.
+        health.finalize(100.0)
+
+        assert health.degraded_instances == []
+        assert observer.instance_degraded_seconds.value(
+            instance="tg0/mppdb0"
+        ) == pytest.approx(100.0)
+        spans = [s for s in sink.spans if s.name == "replace"]
+        assert spans and spans[0].status == "inflight"

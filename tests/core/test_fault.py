@@ -1,0 +1,102 @@
+"""RetryPolicy and FaultRecord unit tests (fault-tolerance plane)."""
+
+import pytest
+
+from repro.core.fault import (
+    DEFAULT_RETRY_POLICY,
+    REASON_DEADLINE_EXCEEDED,
+    REASON_RETRIES_EXHAUSTED,
+    FaultRecord,
+    RetryPolicy,
+)
+from repro.errors import FailoverDeadlineError, FaultError, RetriesExhaustedError
+from repro.rng import RngFactory
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"multiplier": 0.5},
+            {"max_delay_s": 0.5, "base_delay_s": 1.0},
+            {"jitter_fraction": -0.1},
+            {"jitter_fraction": 1.0},
+            {"queue_deadline_s": 0.0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(FaultError):
+            RetryPolicy(**kwargs)
+
+    def test_bad_attempt_number_raises(self):
+        with pytest.raises(FaultError):
+            DEFAULT_RETRY_POLICY.backoff_s(0)
+
+
+class TestBackoff:
+    def test_exponential_progression(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0, max_delay_s=1000.0)
+        assert [policy.backoff_s(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=10.0, max_delay_s=50.0)
+        assert policy.backoff_s(1) == 1.0
+        assert policy.backoff_s(2) == 10.0
+        assert policy.backoff_s(3) == 50.0
+        assert policy.backoff_s(9) == 50.0
+
+    def test_jitter_ignored_without_rng(self):
+        policy = RetryPolicy(jitter_fraction=0.5)
+        assert policy.backoff_s(1) == policy.base_delay_s
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=10.0, jitter_fraction=0.2, max_delay_s=100.0)
+        rng = RngFactory(99).stream("fault", "bounds")
+        for _ in range(200):
+            delay = policy.backoff_s(1, rng)
+            assert 8.0 <= delay <= 12.0
+
+    def test_jitter_deterministic_under_seeded_rng(self):
+        policy = RetryPolicy(base_delay_s=5.0, jitter_fraction=0.3, max_delay_s=500.0)
+        first = [
+            policy.backoff_s(n, RngFactory(42).stream("fault", "g")) for n in (1, 2, 3)
+        ]
+        second = [
+            policy.backoff_s(n, RngFactory(42).stream("fault", "g")) for n in (1, 2, 3)
+        ]
+        assert first == second
+        different = [
+            policy.backoff_s(n, RngFactory(43).stream("fault", "g")) for n in (1, 2, 3)
+        ]
+        assert first != different
+
+
+class TestFaultRecord:
+    def _record(self, reason):
+        return FaultRecord(
+            tenant_id=7,
+            group_name="tg0",
+            template="q3",
+            submit_time_s=10.0,
+            failed_time_s=99.0,
+            reason=reason,
+            attempts=4,
+        )
+
+    def test_retries_exhausted_error(self):
+        error = self._record(REASON_RETRIES_EXHAUSTED).as_error()
+        assert isinstance(error, RetriesExhaustedError)
+        assert "tenant 7" in str(error)
+
+    def test_deadline_error(self):
+        error = self._record(REASON_DEADLINE_EXCEEDED).as_error()
+        assert isinstance(error, FailoverDeadlineError)
+
+    def test_unknown_reason_falls_back_to_fault_error(self):
+        error = self._record("mystery").as_error()
+        assert type(error) is FaultError

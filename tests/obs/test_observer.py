@@ -31,6 +31,12 @@ class TestInstrumentContract:
             "thrifty_normalized_latency",
             "thrifty_engine_queries_total",
             "thrifty_engine_concurrency",
+            "thrifty_node_failures_total",
+            "thrifty_query_retries_total",
+            "thrifty_failovers_total",
+            "thrifty_queries_failed_total",
+            "thrifty_instance_degraded_seconds",
+            "thrifty_node_replacement_seconds",
         }
         assert {family.name for family in observer.metrics} == expected
 

@@ -364,6 +364,74 @@ class TestTHR007NoBarePrint:
         )
 
 
+class TestTHR008EnumValueComparison:
+    def test_fires_on_value_vs_string_literal(self, tmp_path):
+        bad = _lint_snippet(
+            tmp_path,
+            "src/repro/cluster/bad.py",
+            """
+            def is_failed(node) -> bool:
+                return node.state.value == "failed"
+            """,
+            select="THR008",
+        )
+        assert len(bad) == 1
+        assert "NodeState.FAILED" in bad[0].message
+
+    def test_fires_on_not_equal_and_reversed_operands(self, tmp_path):
+        bad = _lint_snippet(
+            tmp_path,
+            "src/repro/mppdb/bad.py",
+            """
+            def check(instance) -> bool:
+                return "ready" != instance.state.value
+            """,
+            select="THR008",
+        )
+        assert len(bad) == 1
+
+    def test_quiet_on_member_identity_comparison(self, tmp_path):
+        good = _lint_snippet(
+            tmp_path,
+            "src/repro/cluster/good.py",
+            """
+            from enum import Enum
+
+            class NodeState(Enum):
+                FAILED = "failed"
+
+            def is_failed(node) -> bool:
+                return node.state is NodeState.FAILED
+            """,
+            select="THR008",
+        )
+        assert good == []
+
+    def test_quiet_on_non_string_and_non_value_comparisons(self, tmp_path):
+        good = _lint_snippet(
+            tmp_path,
+            "src/repro/cluster/good.py",
+            """
+            def checks(node) -> bool:
+                return node.state.value == 3 or node.name == "failed"
+            """,
+            select="THR008",
+        )
+        assert good == []
+
+    def test_quiet_outside_repro(self, tmp_path):
+        good = _lint_snippet(
+            tmp_path,
+            "tools/helper.py",
+            """
+            def is_failed(node) -> bool:
+                return node.state.value == "failed"
+            """,
+            select="THR008",
+        )
+        assert good == []
+
+
 class TestSuppression:
     def test_coded_noqa_suppresses_matching_rule_only(self, tmp_path):
         violations = _lint_snippet(
@@ -401,7 +469,8 @@ class TestSuppression:
 
 
 @pytest.mark.parametrize(
-    "code", ["THR001", "THR002", "THR003", "THR004", "THR005", "THR006", "THR007"]
+    "code",
+    ["THR001", "THR002", "THR003", "THR004", "THR005", "THR006", "THR007", "THR008"],
 )
 def test_every_rule_is_registered(code):
     from repro.tools.lint import rule_codes
