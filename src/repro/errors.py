@@ -29,6 +29,7 @@ __all__ = [
     "RetriesExhaustedError",
     "FailoverDeadlineError",
     "LintError",
+    "AnalysisError",
     "ObservabilityError",
 ]
 
@@ -118,6 +119,10 @@ class FailoverDeadlineError(FaultError):
 
 class LintError(ReproError):
     """The :mod:`repro.tools.lint` static-analysis pass was misused."""
+
+
+class AnalysisError(ReproError):
+    """The :mod:`repro.tools.analyze` whole-program analyzer was misused."""
 
 
 class ObservabilityError(ReproError):

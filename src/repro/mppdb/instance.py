@@ -152,7 +152,9 @@ class MPPDBInstance:
         A READY instance degrades; when *every* node is impaired the
         instance is DOWN.  A failed replacement-in-loading is moved from
         the recovering set back to the failed set so a fresh replacement
-        can be issued.
+        can be issued.  DOWN is absorbing here: losing yet another node
+        cannot *promote* a DOWN instance to DEGRADED — only
+        :meth:`complete_node_replacement` recovers it.
         """
         if self.node_ids and node_id not in self.node_ids:
             raise MPPDBError(f"node {node_id} does not back instance {self.name!r}")
@@ -161,7 +163,7 @@ class MPPDBInstance:
         if self._state in (InstanceState.READY, InstanceState.DEGRADED, InstanceState.DOWN):
             if self.impaired_node_count >= self.parallelism:
                 self._state = InstanceState.DOWN
-            else:
+            elif self._state is not InstanceState.DOWN:
                 self._state = InstanceState.DEGRADED
 
     def mark_down(self) -> None:

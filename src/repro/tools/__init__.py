@@ -1,10 +1,15 @@
 """Developer tooling shipped with the Thrifty reproduction.
 
-Currently this package hosts :mod:`repro.tools.lint`, the domain-aware
-static-analysis pass (``thrifty-lint``) that machine-checks the invariants
-the library's correctness rests on — deterministic replay, the
-:class:`~repro.errors.ReproError` hierarchy, and strict typing of the
-optimization core.
+Two static-analysis entry points live here, both machine-checking the
+invariants the library's correctness rests on — deterministic replay, the
+:class:`~repro.errors.ReproError` hierarchy, declared lifecycle
+transitions, and a documented API surface:
+
+* :mod:`repro.tools.lint` (``thrifty-lint``) — fast per-file rules
+  THR001..THR008;
+* :mod:`repro.tools.analyze` (``thrifty-analyze``) — whole-program
+  interprocedural passes THRA101..THRA105 over the import and call
+  graphs, with a checked-in baseline for accepted findings.
 """
 
 from __future__ import annotations

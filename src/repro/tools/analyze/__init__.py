@@ -1,0 +1,60 @@
+"""``thrifty-analyze`` — whole-program analysis for the reproduction.
+
+Where :mod:`repro.tools.lint` checks one file at a time, this package
+parses all of ``src/repro`` into an import graph and a best-effort call
+graph and runs *interprocedural* passes over it:
+
+* **THRA101** determinism taint — wall-clock / ad-hoc-RNG sources
+  transitively reachable from the replay entry points;
+* **THRA102** exception escape — builtin exceptions that can surface
+  through the public API;
+* **THRA103** dead handlers — ``except SomeReproError`` clauses their try
+  bodies can never satisfy;
+* **THRA104** lifecycle transitions — every ``InstanceState``/``NodeState``
+  assignment checked against the declared transition tables;
+* **THRA105** API-surface drift — ``__all__`` exports missing from
+  ``docs/API.md``.
+
+Run as ``python -m repro.tools.analyze src/`` or via the
+``thrifty-analyze`` console script; see ``docs/STATIC_ANALYSIS.md`` for the
+pass catalogue and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .baseline import apply_baseline, load_baseline, stale_entries, write_baseline
+from .config import (
+    DEFAULT_ENTRY_PREFIXES,
+    AnalyzeConfig,
+    TransitionTable,
+    default_config,
+    default_transition_tables,
+)
+from .findings import Finding, make_fingerprint
+from .graph import ProgramGraph, build_program, find_package_root
+from .passes import AnalysisPass, all_passes, pass_codes, select_passes
+from .runner import analyze_package, main, run_passes
+
+__all__ = [
+    "AnalysisPass",
+    "AnalyzeConfig",
+    "DEFAULT_ENTRY_PREFIXES",
+    "Finding",
+    "ProgramGraph",
+    "TransitionTable",
+    "all_passes",
+    "analyze_package",
+    "apply_baseline",
+    "build_program",
+    "default_config",
+    "default_transition_tables",
+    "find_package_root",
+    "load_baseline",
+    "main",
+    "make_fingerprint",
+    "pass_codes",
+    "run_passes",
+    "select_passes",
+    "stale_entries",
+    "write_baseline",
+]

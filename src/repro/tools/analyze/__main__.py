@@ -1,0 +1,10 @@
+"""``python -m repro.tools.analyze`` — delegate to the CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

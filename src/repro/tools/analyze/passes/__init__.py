@@ -1,0 +1,81 @@
+"""The interprocedural passes behind ``thrifty-analyze``.
+
+Mirrors the lint rule registry: each pass has a ``code`` (``THRA101``…), a
+``name``, a one-line ``summary``, and a ``run`` method taking the program
+graph plus the :class:`~repro.tools.analyze.config.AnalyzeConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ....errors import AnalysisError
+from ..config import AnalyzeConfig
+from ..findings import Finding
+from ..graph import ProgramGraph
+
+__all__ = [
+    "AnalysisPass",
+    "register",
+    "all_passes",
+    "pass_codes",
+    "select_passes",
+]
+
+
+class AnalysisPass:
+    """Base class for analyzer passes; subclasses set ``code``/``name``/``summary``."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def run(self, graph: ProgramGraph, config: AnalyzeConfig) -> List[Finding]:
+        """Return every finding of this pass over ``graph``."""
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[AnalysisPass]] = {}
+
+
+def register(cls: type[AnalysisPass]) -> type[AnalysisPass]:
+    """Class decorator adding a pass to the registry (keyed by its code)."""
+    if not cls.code:
+        raise AnalysisError(f"pass {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise AnalysisError(f"duplicate pass code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_passes() -> list[AnalysisPass]:
+    """Fresh instances of every registered pass, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def pass_codes() -> list[str]:
+    """Sorted registered pass codes."""
+    return sorted(_REGISTRY)
+
+
+def select_passes(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[AnalysisPass]:
+    """Resolve ``--select``/``--ignore`` against the registry."""
+    codes = set(select) if select else set(pass_codes())
+    unknown = codes - set(pass_codes())
+    if unknown:
+        raise AnalysisError(f"unknown pass code(s): {', '.join(sorted(unknown))}")
+    if ignore:
+        bad = set(ignore) - set(pass_codes())
+        if bad:
+            raise AnalysisError(f"unknown pass code(s): {', '.join(sorted(bad))}")
+        codes -= set(ignore)
+    return [_REGISTRY[code]() for code in sorted(codes)]
+
+
+# Importing the pass modules registers them (mirrors lint's rules import).
+from . import api_surface as _api_surface  # noqa: E402,F401
+from . import determinism as _determinism  # noqa: E402,F401
+from . import exceptions as _exceptions  # noqa: E402,F401
+from . import lifecycle as _lifecycle  # noqa: E402,F401

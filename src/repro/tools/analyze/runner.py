@@ -1,0 +1,196 @@
+"""Program loading, pass execution, and the ``thrifty-analyze`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ...errors import AnalysisError
+from ..lint.report import write_report
+from ..lint.suppress import ALL_CODES, line_suppressions
+from .baseline import apply_baseline, load_baseline, stale_entries, write_baseline
+from .config import AnalyzeConfig, default_config
+from .findings import Finding
+from .graph import ProgramGraph, build_program, find_package_root
+from .passes import AnalysisPass, all_passes, select_passes
+
+__all__ = ["run_passes", "analyze_package", "main"]
+
+_DEFAULT_BASELINE = "thrifty-analyze-baseline.txt"
+_DEFAULT_API_DOC = "docs/API.md"
+
+
+def run_passes(
+    graph: ProgramGraph,
+    config: AnalyzeConfig,
+    passes: Sequence[AnalysisPass] | None = None,
+) -> list[Finding]:
+    """Run the passes over a built program; deduped, suppression-filtered, sorted."""
+    raw: list[Finding] = []
+    for analysis_pass in passes if passes is not None else all_passes():
+        raw.extend(analysis_pass.run(graph, config))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.fingerprint))
+    suppressions_by_path: dict[str, dict[int, frozenset[str]]] = {}
+    for module in graph.modules.values():
+        suppressions_by_path[module.path] = line_suppressions(module.source)
+    seen: set[str] = set()
+    out: list[Finding] = []
+    for finding in raw:
+        if finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        codes = suppressions_by_path.get(finding.path, {}).get(finding.line, frozenset())
+        if ALL_CODES in codes or finding.code in codes:
+            continue
+        out.append(finding)
+    return out
+
+
+def analyze_package(
+    package_dir: str | Path,
+    config: AnalyzeConfig | None = None,
+    passes: Sequence[AnalysisPass] | None = None,
+) -> list[Finding]:
+    """Build the program graph for ``package_dir`` and run the passes."""
+    graph = build_program(package_dir)
+    return run_passes(graph, config if config is not None else default_config(), passes)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="thrifty-analyze",
+        description=(
+            "Whole-program static analysis for the Thrifty reproduction: "
+            "interprocedural determinism taint, exception flow, lifecycle "
+            "transitions, and API-surface drift (passes THRA101..THRA105)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="package directory to analyze (or its direct parent, e.g. src/)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated pass codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated pass codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=f"baseline file of accepted findings (default: {_DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit clean",
+    )
+    parser.add_argument(
+        "--api-doc",
+        metavar="PATH",
+        help=(
+            "API document the THRA105 drift pass checks __all__ exports "
+            f"against (default: {_DEFAULT_API_DOC} if present, else the pass is skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--entry",
+        action="append",
+        metavar="PREFIX",
+        help=(
+            "package-relative qualname prefix to use as a replay entry point "
+            "for THRA101 (repeatable; overrides the built-in set)"
+        ),
+    )
+    parser.add_argument(
+        "--statistics", action="store_true", help="append per-code finding counts"
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="print the registered passes and exit"
+    )
+    return parser
+
+
+def _parse_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def _resolve_api_doc(raw: Optional[str]) -> Optional[Path]:
+    if raw is not None:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisError(f"API document not found: {path}")
+        return path
+    default = Path(_DEFAULT_API_DOC)
+    if default.exists():
+        return default
+    sys.stderr.write(
+        f"thrifty-analyze: note: {_DEFAULT_API_DOC} not found, "
+        "skipping the THRA105 api-surface pass\n"
+    )
+    return None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code (0 clean, 1 findings)."""
+    parser = _build_parser()
+    opts = parser.parse_args(argv)
+    if opts.list_passes:
+        for analysis_pass in all_passes():
+            sys.stdout.write(f"{analysis_pass.code}  {analysis_pass.summary}\n")
+        return 0
+    try:
+        passes = select_passes(_parse_codes(opts.select), _parse_codes(opts.ignore))
+        config = default_config()
+        if opts.entry:
+            config.entry_prefixes = tuple(opts.entry)
+        config.api_doc = _resolve_api_doc(opts.api_doc)
+        package_dir = find_package_root(opts.paths)
+        graph = build_program(package_dir)
+        findings = run_passes(graph, config, passes)
+        baseline_path = Path(opts.baseline) if opts.baseline else Path(_DEFAULT_BASELINE)
+        baseline: dict[str, str] = {}
+        if baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+        elif opts.baseline and not opts.write_baseline:
+            raise AnalysisError(f"baseline file not found: {baseline_path}")
+        if opts.write_baseline:
+            write_baseline(baseline_path, findings, baseline)
+            sys.stdout.write(
+                f"wrote {len({f.fingerprint for f in findings})} baseline "
+                f"entr{'y' if len(findings) == 1 else 'ies'} to {baseline_path}\n"
+            )
+            return 0
+        new_findings, used = apply_baseline(findings, baseline)
+        for fingerprint in stale_entries(baseline, used):
+            sys.stderr.write(
+                f"thrifty-analyze: warning: stale baseline entry {fingerprint}\n"
+            )
+    except AnalysisError as exc:
+        sys.stderr.write(f"thrifty-analyze: error: {exc}\n")
+        return 2
+    write_report(
+        sys.stdout,
+        list(new_findings),
+        fmt=opts.format,
+        files_checked=len(graph.modules),
+        statistics=opts.statistics,
+    )
+    return 1 if new_findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -12,9 +12,9 @@ from ...errors import LintError
 from . import rules as _rules  # noqa: F401  (importing registers the THR rules)
 from .registry import FileContext, Rule, Violation, all_rules, select_rules
 from .report import write_report
-from .suppress import filter_suppressed
+from .suppress import filter_suppressed, noqa_comments
 
-__all__ = ["collect_files", "check_file", "check_paths", "main"]
+__all__ = ["collect_files", "check_file", "check_paths", "find_unused_noqa", "main"]
 
 _SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".mypy_cache", ".ruff_cache"}
 
@@ -28,9 +28,11 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
             for candidate in path.rglob("*.py"):
                 if not _SKIP_DIRS.intersection(candidate.parts):
                     found.add(candidate)
-        elif path.suffix == ".py" and path.exists():
+        elif path.exists():
+            if path.suffix != ".py":
+                raise LintError(f"not a Python file: {path}")
             found.add(path)
-        elif not path.exists():
+        else:
             raise LintError(f"no such file or directory: {path}")
     return sorted(found)
 
@@ -46,7 +48,7 @@ def check_file(path: Path, rule_set: Sequence[Rule] | None = None) -> list[Viola
     violations: list[Violation] = []
     for rule in rule_set if rule_set is not None else all_rules():
         violations.extend(rule.check(ctx))
-    violations = filter_suppressed(violations, ctx.lines)
+    violations = filter_suppressed(violations, ctx.source)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
 
@@ -60,6 +62,54 @@ def check_paths(
     for path in files:
         violations.extend(check_file(path, rule_set))
     return violations, len(files)
+
+
+def find_unused_noqa(paths: Sequence[str | Path]) -> tuple[list[Violation], int]:
+    """``thrifty: noqa`` comments that no longer suppress any violation.
+
+    Runs every registered rule over each file *without* suppression, then
+    reports each noqa comment whose line has no violation it could silence
+    (for a bracketed noqa, none of its codes fire; for a blanket one,
+    nothing fires at all).  Reported with the pseudo-code ``NOQA`` so the
+    usual report machinery renders them.
+    """
+    files = collect_files(paths)
+    stale: list[Violation] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {path}: {exc}") from exc
+        ctx = FileContext(path=str(path), source=source, tree=tree)
+        raw: list[Violation] = []
+        for rule in all_rules():
+            raw.extend(rule.check(ctx))
+        fired: dict[int, set[str]] = {}
+        for violation in raw:
+            fired.setdefault(violation.line, set()).add(violation.code)
+        for comment in noqa_comments(source):
+            codes_here = fired.get(comment.line, set())
+            used = bool(codes_here) if comment.is_blanket else bool(
+                codes_here & comment.codes
+            )
+            if used:
+                continue
+            if comment.is_blanket:
+                detail = "no violation fires on this line"
+            else:
+                detail = f"none of [{', '.join(sorted(comment.codes))}] fire on this line"
+            stale.append(
+                Violation(
+                    code="NOQA",
+                    message=f"unused suppression: {detail}",
+                    path=str(path),
+                    line=comment.line,
+                    col=comment.col,
+                )
+            )
+    stale.sort(key=lambda v: (v.path, v.line, v.col))
+    return stale, len(files)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,6 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the registered rules and exit"
     )
+    parser.add_argument(
+        "--unused-noqa",
+        action="store_true",
+        help="report 'thrifty: noqa' comments that no longer suppress anything",
+    )
     return parser
 
 
@@ -109,8 +164,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             sys.stdout.write(f"{rule.code}  {rule.summary}\n")
         return 0
     try:
-        rule_set = select_rules(_parse_codes(opts.select), _parse_codes(opts.ignore))
-        violations, files_checked = check_paths(opts.paths, rule_set)
+        if opts.unused_noqa:
+            violations, files_checked = find_unused_noqa(opts.paths)
+        else:
+            rule_set = select_rules(_parse_codes(opts.select), _parse_codes(opts.ignore))
+            violations, files_checked = check_paths(opts.paths, rule_set)
     except LintError as exc:
         sys.stderr.write(f"thrifty-lint: error: {exc}\n")
         return 2

@@ -77,6 +77,15 @@ class TestLibraryAPI:
         files = collect_files([tmp_path, a])
         assert files == [a]
 
+    def test_collect_files_rejects_existing_non_python_path(self, tmp_path):
+        readme = _write(tmp_path, "pkg/README.md", "# not python\n")
+        with pytest.raises(LintError, match="not a Python file"):
+            collect_files([readme])
+
+    def test_collect_files_rejects_missing_path(self, tmp_path):
+        with pytest.raises(LintError, match="no such file or directory"):
+            collect_files([tmp_path / "missing.py"])
+
     def test_select_rules_unknown_code_raises_repro_error(self):
         with pytest.raises(LintError):
             select_rules(["THR999"])
