@@ -19,13 +19,15 @@ from repro.analysis.report import format_table
 from repro.analysis.sweeps import build_workload
 from repro.packing.ffd import ffd_grouping
 from repro.packing.livbp import GroupingSolution, LIVBPwFCProblem
-from repro.packing.two_step import _pack_one_initial_group, two_step_grouping
+from repro.packing.two_step import pack_initial_group, two_step_grouping
 from repro.workload.activity import ActivityMatrix
 
 
 def _one_step_grouping(problem):
     """Algorithm 2's second step without the homogeneous first step."""
-    groups = _pack_one_initial_group(list(problem.items), problem)
+    groups = pack_initial_group(
+        problem.items, problem.num_epochs, problem.replication_factor, problem.sla_fraction
+    )
     return GroupingSolution(problem, groups, solver="1-step-mixed")
 
 

@@ -126,6 +126,25 @@ class GroupingRow:
         """2-step effectiveness minus FFD's, in percentage points."""
         return 100.0 * (self.two_step_effectiveness - self.ffd_effectiveness)
 
+    def identity(self) -> tuple:
+        """The deterministic fields of the row — everything except timing.
+
+        Two runs of the same sweep (serial, or parallel at any worker
+        count) produce rows with equal identities; the ``*_seconds``
+        fields are wall-clock *measurements* and are excluded from the
+        determinism contract (docs/PARALLELISM.md).
+        """
+        return (
+            self.parameter,
+            self.value,
+            self.active_ratio,
+            self.two_step_effectiveness,
+            self.two_step_group_size,
+            self.ffd_effectiveness,
+            self.ffd_group_size,
+            tuple(sorted(self.extras.items())),
+        )
+
     def as_list(self) -> list:
         """Row form for :func:`~repro.analysis.report.format_table`."""
         return [
@@ -164,7 +183,14 @@ def run_grouping_experiment(
     parameter: str = "",
     value: object = None,
 ) -> GroupingRow:
-    """Solve one instance with both heuristics and collect the panels."""
+    """Solve one instance with both heuristics and collect the panels.
+
+    Solver timings are measured here with :func:`time.perf_counter` —
+    i.e. *inside* the shard when the experiment runs under the parallel
+    fabric — so aggregated solver time is the cost of the solve itself,
+    not the wall time of a worker pool (which would fold queueing and
+    scheduling noise into the §7.3 execution-time panels).
+    """
     matrix = ActivityMatrix.from_workload(workload, epoch_size)
     problem = LIVBPwFCProblem.from_activity_matrix(matrix, replication_factor, sla_percent)
     started = time.perf_counter()
@@ -185,7 +211,15 @@ def run_grouping_experiment(
         ffd_effectiveness=ffd.consolidation_effectiveness,
         ffd_group_size=ffd.average_group_size,
         ffd_seconds=ffd_s,
+        extras={"num_epochs": problem.num_epochs, "num_items": len(problem.items)},
     )
+
+
+#: Parameters :func:`sweep_parameter` understands.
+SWEEP_PARAMETERS = frozenset(
+    {"epoch_size_s", "num_tenants", "theta", "replication_factor", "sla_percent"}
+)
+__all__.append("SWEEP_PARAMETERS")
 
 
 def sweep_parameter(
@@ -193,16 +227,36 @@ def sweep_parameter(
     values: Sequence[object],
     scale: BenchScale = DEFAULT_SCALE,
     workload_factory: Optional[Callable[[EvaluationConfig], ComposedWorkload]] = None,
+    workers: int = 0,
 ) -> list[GroupingRow]:
     """Run a Table 7.1-style sweep over one parameter.
 
     ``parameter`` is one of ``"epoch_size_s"``, ``"num_tenants"``,
     ``"theta"``, ``"replication_factor"``, ``"sla_percent"``; every other
     parameter stays at the scale's default.
+
+    With ``workers > 0`` the sweep points — which are embarrassingly
+    parallel — run as shards on the :mod:`repro.parallel` fabric, one
+    process pool of that size; the rows come back in value order with
+    identical deterministic fields (:meth:`GroupingRow.identity`) to the
+    serial path.  ``workload_factory`` is a serial-only hook (an arbitrary
+    closure cannot be shipped to a spawned worker).
     """
-    known = {"epoch_size_s", "num_tenants", "theta", "replication_factor", "sla_percent"}
-    if parameter not in known:
-        raise ReproError(f"unknown sweep parameter {parameter!r}; options: {sorted(known)}")
+    if parameter not in SWEEP_PARAMETERS:
+        raise ReproError(
+            f"unknown sweep parameter {parameter!r}; options: {sorted(SWEEP_PARAMETERS)}"
+        )
+    if workers:
+        if workload_factory is not None:
+            raise ReproError(
+                "workload_factory is serial-only; a parallel sweep builds each "
+                "shard's workload from its config inside the worker"
+            )
+        from ..parallel.runner import ProcessPoolRunner
+        from ..parallel.tasks import run_sweep
+
+        merged = run_sweep(parameter, values, scale, ProcessPoolRunner(max_workers=workers))
+        return list(merged.values)
     rows: list[GroupingRow] = []
     for value in values:
         config = scale.config(**{parameter: value})

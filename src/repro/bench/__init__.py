@@ -1,0 +1,62 @@
+"""``repro.bench`` — the performance-bench harness behind ``thrifty bench``.
+
+Registers the repo's benchmark experiments as named *scenarios*
+(``headline``, ``fig7``, ``replay``), runs them at a chosen
+:class:`~repro.analysis.sweeps.BenchScale` (``ci`` / ``smoke`` /
+``default`` / ``large``) with an optional :mod:`repro.parallel` worker
+pool, emits ``BENCH_<scenario>.json`` records (wall time, simulated-epoch
+throughput, solver time, observability overhead, worker count, git SHA),
+and gates them against the committed ``benchmarks/baseline/*.json`` with
+a configurable regression threshold — non-zero exit on a >15% slowdown
+by default.  See ``docs/PARALLELISM.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+from .harness import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    GATED_METRICS,
+    BenchRecord,
+    RegressionFinding,
+    baseline_path,
+    compare_records,
+    default_baseline_dir,
+    git_sha,
+    load_baseline,
+    run_scenarios,
+    update_baselines,
+    write_records,
+)
+from .scenarios import (
+    BENCH_SCALES,
+    BenchScenario,
+    ScenarioResult,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    resolve_scale,
+    scenario_names,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "BenchScenario",
+    "register_scenario",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
+    "BENCH_SCALES",
+    "resolve_scale",
+    "BenchRecord",
+    "RegressionFinding",
+    "GATED_METRICS",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "git_sha",
+    "run_scenarios",
+    "write_records",
+    "baseline_path",
+    "load_baseline",
+    "compare_records",
+    "update_baselines",
+    "default_baseline_dir",
+]

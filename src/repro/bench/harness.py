@@ -1,0 +1,250 @@
+"""Bench records, ``BENCH_*.json`` emission, and the regression gate.
+
+The harness turns scenario runs into :class:`BenchRecord` files
+(``BENCH_<scenario>.json`` — wall time, simulated-epoch throughput,
+solver time, observability overhead, worker count, git SHA) and compares
+them against the committed ``benchmarks/baseline/<scenario>_<scale>.json``
+files.  Two metrics are gated:
+
+* ``wall_s`` — regression when measured > baseline × (1 + threshold);
+* ``epochs_per_s`` — regression when measured < baseline × (1 − threshold).
+
+Everything else in ``metrics`` is informational.  A missing baseline is a
+warning, never a failure, so new scenarios can land before their first
+baseline refresh (``thrifty bench --update-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import BenchError
+from .scenarios import BenchScenario, get_scenario, resolve_scale
+
+__all__ = [
+    "BenchRecord",
+    "RegressionFinding",
+    "GATED_METRICS",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "git_sha",
+    "run_scenarios",
+    "write_records",
+    "baseline_path",
+    "load_baseline",
+    "compare_records",
+    "update_baselines",
+    "default_baseline_dir",
+]
+
+#: Gated metrics and their good direction.
+GATED_METRICS: Dict[str, str] = {"wall_s": "lower", "epochs_per_s": "higher"}
+
+#: Default ``--threshold``: fail on >15% slowdown.
+DEFAULT_REGRESSION_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One scenario run, as persisted in ``BENCH_<scenario>.json``."""
+
+    scenario: str
+    scale: str
+    workers: int
+    git_sha: str
+    wall_s: float
+    metrics: Dict[str, float]
+    detail: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchRecord":
+        """Parse a record dict (e.g. a loaded baseline file)."""
+        try:
+            return cls(
+                scenario=str(data["scenario"]),
+                scale=str(data["scale"]),
+                workers=int(data["workers"]),  # type: ignore[call-overload]
+                git_sha=str(data["git_sha"]),
+                wall_s=float(data["wall_s"]),  # type: ignore[arg-type]
+                metrics={k: float(v) for k, v in dict(data["metrics"]).items()},  # type: ignore[call-overload]
+                detail=dict(data.get("detail", {})),  # type: ignore[call-overload]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"malformed bench record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One gated metric that moved past the threshold."""
+
+    scenario: str
+    scale: str
+    metric: str
+    measured: float
+    baseline: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / baseline."""
+        return self.measured / self.baseline
+
+    def message(self) -> str:
+        """Human-readable one-liner for the CLI report."""
+        direction = GATED_METRICS[self.metric]
+        verb = "rose" if direction == "lower" else "fell"
+        return (
+            f"{self.scenario}[{self.scale}] {self.metric} {verb} to "
+            f"{self.measured:.4g} vs baseline {self.baseline:.4g} "
+            f"({self.ratio:.2f}x, threshold {self.threshold:.0%})"
+        )
+
+
+def git_sha() -> str:
+    """Short git SHA of the working tree, or ``"unknown"`` outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def run_scenarios(
+    names: Sequence[str], scale_name: str, workers: int, repeat: int = 1
+) -> List[BenchRecord]:
+    """Run the named scenarios at ``scale_name`` and record each one.
+
+    With ``repeat > 1`` each scenario runs that many times and the fastest
+    run (by ``wall_s``) is recorded — best-of-N damps scheduler and cache
+    jitter, which on sub-second scenarios otherwise exceeds the regression
+    threshold.  Deterministic metrics are identical across repeats, so only
+    the timing panels differ between runs.
+    """
+    if repeat < 1:
+        raise BenchError(f"repeat must be >= 1, got {repeat!r}")
+    scale = resolve_scale(scale_name)
+    scenarios: List[BenchScenario] = [get_scenario(name) for name in names]
+    sha = git_sha()
+    records: List[BenchRecord] = []
+    for scenario in scenarios:
+        best = scenario.run(scale, workers)
+        for _ in range(repeat - 1):
+            result = scenario.run(scale, workers)
+            if result.wall_s < best.wall_s:
+                best = result
+        records.append(
+            BenchRecord(
+                scenario=best.name,
+                scale=scale_name,
+                workers=workers,
+                git_sha=sha,
+                wall_s=best.wall_s,
+                metrics=dict(best.metrics),
+                detail=dict(best.detail),
+            )
+        )
+    return records
+
+
+def write_records(records: Sequence[BenchRecord], out_dir: Path) -> List[Path]:
+    """Write ``BENCH_<scenario>.json`` for each record; return the paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for record in records:
+        path = out_dir / f"BENCH_{record.scenario}.json"
+        path.write_text(json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def default_baseline_dir() -> Path:
+    """The repo's committed baseline directory (``benchmarks/baseline``)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baseline"
+
+
+def baseline_path(baseline_dir: Path, scenario: str, scale: str) -> Path:
+    """Where the committed baseline for (scenario, scale) lives."""
+    return baseline_dir / f"{scenario}_{scale}.json"
+
+
+def load_baseline(baseline_dir: Path, scenario: str, scale: str) -> Optional[BenchRecord]:
+    """The committed baseline record, or ``None`` if not yet committed."""
+    path = baseline_path(baseline_dir, scenario, scale)
+    if not path.is_file():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"corrupt baseline {path}: {exc}") from exc
+    return BenchRecord.from_dict(data)
+
+
+def compare_records(
+    records: Sequence[BenchRecord],
+    baseline_dir: Path,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> tuple[List[RegressionFinding], List[str]]:
+    """Gate records against baselines.
+
+    Returns ``(regressions, warnings)``: regressions are gated metrics past
+    the threshold; warnings note records with no committed baseline (those
+    never fail the gate).
+    """
+    if threshold <= 0:
+        raise BenchError(f"threshold must be positive, got {threshold!r}")
+    findings: List[RegressionFinding] = []
+    warnings: List[str] = []
+    for record in records:
+        baseline = load_baseline(baseline_dir, record.scenario, record.scale)
+        if baseline is None:
+            warnings.append(
+                f"no baseline for {record.scenario}[{record.scale}] "
+                f"(expected {baseline_path(baseline_dir, record.scenario, record.scale)}); "
+                "run with --update-baseline to create it"
+            )
+            continue
+        for metric, direction in GATED_METRICS.items():
+            measured = record.metrics.get(metric)
+            base = baseline.metrics.get(metric)
+            if measured is None or base is None or base <= 0:
+                continue
+            ratio = measured / base
+            slow = direction == "lower" and ratio > 1.0 + threshold
+            weak = direction == "higher" and ratio < 1.0 - threshold
+            if slow or weak:
+                findings.append(
+                    RegressionFinding(
+                        scenario=record.scenario,
+                        scale=record.scale,
+                        metric=metric,
+                        measured=measured,
+                        baseline=base,
+                        threshold=threshold,
+                    )
+                )
+    return findings, warnings
+
+
+def update_baselines(records: Sequence[BenchRecord], baseline_dir: Path) -> List[Path]:
+    """(Re)write the committed baseline for each record; return the paths."""
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for record in records:
+        path = baseline_path(baseline_dir, record.scenario, record.scale)
+        path.write_text(json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths

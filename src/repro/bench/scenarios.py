@@ -1,0 +1,271 @@
+"""The registered benchmark scenarios and the scales they run at.
+
+A scenario is a named experiment the harness can run, time, and gate:
+it returns a :class:`ScenarioResult` whose ``metrics`` carry the numbers
+the regression gate understands (``wall_s`` lower-is-better,
+``epochs_per_s`` higher-is-better) plus informational extras, and whose
+``detail`` carries the row-level data a human wants in ``BENCH_*.json``.
+
+Three scenarios cover the stack end to end:
+
+* ``headline`` — the abstract's claim: full pipeline (log generation,
+  composition, grouping, TDD design) at the scale's default parameters;
+  reports consolidation effectiveness and the fraction of requested
+  nodes used.
+* ``fig7`` — the §7.3 epoch-size sweep run through the
+  :mod:`repro.parallel` fabric (one shard per sweep point,
+  ``--workers``-sized pool); solver time is the per-shard
+  ``perf_counter`` aggregate, never pool wall time.
+* ``replay`` — epoch simulation: a replay measured with the null
+  observer and again fully instrumented (the ``obs_overhead`` metric),
+  plus — with workers — Monte-Carlo replicas sharded over the pool.
+
+Scales mirror the benchmark profiles: ``ci`` (seconds, for the
+bench-smoke job), ``smoke``, ``default`` (the committed numbers), and
+``large``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
+
+from ..analysis.sweeps import DEFAULT_SCALE, SMOKE_SCALE, BenchScale, GroupingRow, build_workload
+from ..core.advisor import DeploymentAdvisor
+from ..core.service import ThriftyService
+from ..errors import BenchError
+from ..obs import MemorySink, Observer
+from ..parallel.runner import ProcessPoolRunner
+from ..parallel.tasks import run_replicas, run_sweep
+from ..units import DAY
+from ..workload.activity import ActivityMatrix
+
+__all__ = [
+    "ScenarioResult",
+    "BenchScenario",
+    "register_scenario",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
+    "BENCH_SCALES",
+    "resolve_scale",
+]
+
+#: The scales the harness accepts (``thrifty bench --scale``).
+BENCH_SCALES: Dict[str, BenchScale] = {
+    "ci": BenchScale(num_tenants=60, horizon_days=5, holiday_weekdays=0, sessions_per_size=4),
+    "smoke": SMOKE_SCALE,
+    "default": DEFAULT_SCALE,
+    "large": BenchScale(num_tenants=2000, horizon_days=21, holiday_weekdays=1, sessions_per_size=24),
+}
+
+
+def resolve_scale(name: str) -> BenchScale:
+    """The :class:`BenchScale` registered under ``name``."""
+    try:
+        return BENCH_SCALES[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown bench scale {name!r}; options: {sorted(BENCH_SCALES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario run: gateable metrics plus human-facing detail."""
+
+    name: str
+    wall_s: float
+    metrics: Dict[str, float]
+    detail: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """A named, registered benchmark scenario."""
+
+    name: str
+    description: str
+    fn: Callable[[BenchScale, int], ScenarioResult]
+
+    def run(self, scale: BenchScale, workers: int) -> ScenarioResult:
+        """Execute the scenario at ``scale`` with a ``workers``-wide pool."""
+        return self.fn(scale, workers)
+
+
+_SCENARIOS: Dict[str, BenchScenario] = {}
+
+
+def register_scenario(
+    name: str, description: str
+) -> Callable[[Callable[[BenchScale, int], ScenarioResult]], Callable[[BenchScale, int], ScenarioResult]]:
+    """Register a scenario function under ``name``."""
+
+    def decorate(
+        fn: Callable[[BenchScale, int], ScenarioResult]
+    ) -> Callable[[BenchScale, int], ScenarioResult]:
+        if name in _SCENARIOS:
+            raise BenchError(f"duplicate bench scenario {name!r}")
+        _SCENARIOS[name] = BenchScenario(name=name, description=description, fn=fn)
+        return fn
+
+    return decorate
+
+
+def all_scenarios() -> List[BenchScenario]:
+    """Every registered scenario, sorted by name."""
+    return [_SCENARIOS[name] for name in sorted(_SCENARIOS)]
+
+
+def scenario_names() -> List[str]:
+    """Sorted registered scenario names."""
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> BenchScenario:
+    """The scenario registered under ``name``."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown bench scenario {name!r}; options: {scenario_names()}"
+        ) from None
+
+
+# -- headline --------------------------------------------------------------
+
+
+@register_scenario("headline", "full pipeline: generation, composition, grouping, TDD design")
+def _headline(scale: BenchScale, workers: int) -> ScenarioResult:
+    config = scale.config()
+    started = time.perf_counter()
+    workload = build_workload(config, scale.sessions_per_size)
+    advice = DeploymentAdvisor(config).plan_from_workload(workload)
+    matrix = ActivityMatrix.from_workload(workload, config.epoch_size_s)
+    wall = time.perf_counter() - started
+    plan = advice.plan
+    used_fraction = plan.total_nodes_used / plan.total_nodes_requested
+    return ScenarioResult(
+        name="headline",
+        wall_s=wall,
+        metrics={
+            "wall_s": wall,
+            "epochs_per_s": matrix.num_epochs / wall,
+            "solver_s": advice.grouping.solve_seconds,
+            "effectiveness": plan.consolidation_effectiveness,
+            "used_fraction": used_fraction,
+        },
+        detail={
+            "tenants": len(workload),
+            "excluded": len(advice.excluded),
+            "tenant_groups": len(plan),
+            "nodes_requested": plan.total_nodes_requested,
+            "nodes_used": plan.total_nodes_used,
+            "num_epochs": matrix.num_epochs,
+            "grouping": advice.grouping.solver,
+        },
+    )
+
+
+# -- fig7 (epoch-size sweep through the fabric) ----------------------------
+
+#: Epoch sizes per scale: CI takes three points, everything else the
+#: full Figure 7.1 ladder.
+_FIG7_EPOCHS_FULL: Tuple[float, ...] = (0.5, 1.0, 3.0, 10.0, 30.0, 90.0, 600.0, 1800.0)
+_FIG7_EPOCHS_CI: Tuple[float, ...] = (1.0, 30.0, 600.0)
+
+
+def _fig7_scale(scale: BenchScale) -> BenchScale:
+    """The reduced scale the committed Figure 7.1 bench also uses."""
+    return replace(scale, num_tenants=max(50, scale.num_tenants // 2))
+
+
+@register_scenario("fig7", "Figure 7.1 epoch-size sweep, sharded over the parallel fabric")
+def _fig7(scale: BenchScale, workers: int) -> ScenarioResult:
+    small = _fig7_scale(scale)
+    values = _FIG7_EPOCHS_CI if scale.num_tenants <= 100 else _FIG7_EPOCHS_FULL
+    runner = ProcessPoolRunner(max_workers=workers)
+    started = time.perf_counter()
+    merged = run_sweep("epoch_size_s", values, small, runner)
+    wall = time.perf_counter() - started
+    rows: List[GroupingRow] = list(merged.values)
+    epochs = float(sum(int(r.extras.get("num_epochs", 0)) for r in rows))
+    solver_s = merged.timings.get("two_step_s", 0.0) + merged.timings.get("ffd_s", 0.0)
+    return ScenarioResult(
+        name="fig7",
+        wall_s=wall,
+        metrics={
+            "wall_s": wall,
+            "epochs_per_s": epochs / wall,
+            "solver_s": solver_s,
+            "workload_s": merged.timings.get("workload_s", 0.0),
+            "advantage_points_max": max(r.advantage_points for r in rows),
+        },
+        detail={
+            "tenants": small.num_tenants,
+            "epoch_sizes": list(values),
+            "shards": merged.shard_count,
+            "attempts": merged.attempts,
+            "rows": [r.as_list() for r in rows],
+        },
+    )
+
+
+# -- replay (epoch simulation + observability overhead) --------------------
+
+
+def _replay_scale(scale: BenchScale) -> BenchScale:
+    """A replay-sized cut of the scale (replay cost ≫ grouping cost)."""
+    return replace(
+        scale,
+        num_tenants=max(30, scale.num_tenants // 10),
+        horizon_days=min(scale.horizon_days, 3),
+        holiday_weekdays=0,
+        sessions_per_size=min(scale.sessions_per_size, 4),
+    )
+
+
+def _replay_once(scale: BenchScale, observer: "Observer | None") -> float:
+    """Wall seconds for one one-day replay (deploy excluded)."""
+    config = scale.config()
+    workload = build_workload(config, scale.sessions_per_size)
+    service = ThriftyService(config, observer=observer)
+    service.deploy(workload)
+    started = time.perf_counter()
+    service.replay(until=1.0 * DAY)
+    return time.perf_counter() - started
+
+
+@register_scenario("replay", "epoch simulation: replay throughput, obs overhead, MC replicas")
+def _replay(scale: BenchScale, workers: int) -> ScenarioResult:
+    small = _replay_scale(scale)
+    started = time.perf_counter()
+    _replay_once(small, observer=None)  # warm caches, untimed baseline
+    t_null = _replay_once(small, observer=None)
+    t_obs = _replay_once(small, observer=Observer(MemorySink()))
+    sim_epochs = (1.0 * DAY) / small.config().epoch_size_s
+    metrics: Dict[str, float] = {
+        "epochs_per_s": sim_epochs / t_null,
+        "obs_overhead": t_obs / t_null - 1.0,
+        "replay_s": t_null,
+    }
+    detail: Dict[str, object] = {
+        "tenants": small.num_tenants,
+        "sim_epochs": sim_epochs,
+    }
+    if workers > 0:
+        replicas = max(2, workers)
+        runner = ProcessPoolRunner(max_workers=workers)
+        t0 = time.perf_counter()
+        merged = run_replicas(small, replicas, runner=runner, replay_days=1.0)
+        mc_wall = time.perf_counter() - t0
+        metrics["mc_epochs_per_s"] = replicas * sim_epochs / mc_wall
+        detail["mc_replicas"] = replicas
+        detail["mc_wall_s"] = mc_wall
+        detail["mc_sla_fraction_met"] = [
+            summary["sla_fraction_met"] for summary in merged.values
+        ]
+    wall = time.perf_counter() - started
+    metrics["wall_s"] = wall
+    return ScenarioResult(name="replay", wall_s=wall, metrics=metrics, detail=detail)

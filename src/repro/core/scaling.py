@@ -36,7 +36,7 @@ from ..errors import ScalingError
 from ..mppdb.instance import MPPDBInstance
 from ..mppdb.provisioning import Provisioner
 from ..packing.livbp import LIVBPwFCProblem
-from ..packing.two_step import _pack_one_initial_group
+from ..packing.two_step import pack_initial_group
 from ..simulation.trace import TraceRecorder
 from ..units import DAY, num_epochs
 from ..workload.activity import ActivityItem
@@ -309,7 +309,9 @@ class LightweightScaling(ScalingPolicy):
             replication_factor=monitor.replication_factor,
             sla_fraction=sla_fraction,
         )
-        groups = _pack_one_initial_group(list(items), problem)
+        groups = pack_initial_group(
+            items, problem.num_epochs, problem.replication_factor, problem.sla_fraction
+        )
         keepers = set(groups[0]) if groups else set()
         return [item.tenant_id for item in items if item.tenant_id not in keepers]
 

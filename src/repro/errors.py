@@ -28,6 +28,10 @@ __all__ = [
     "FaultError",
     "RetriesExhaustedError",
     "FailoverDeadlineError",
+    "ParallelError",
+    "ShardFailedError",
+    "BenchError",
+    "BenchRegressionError",
     "LintError",
     "AnalysisError",
     "ObservabilityError",
@@ -115,6 +119,32 @@ class RetriesExhaustedError(FaultError):
 
 class FailoverDeadlineError(FaultError):
     """A query queued for a healthy replica ran out its graceful-degradation deadline."""
+
+
+class ParallelError(ReproError):
+    """The :mod:`repro.parallel` execution fabric was misused or failed."""
+
+
+class ShardFailedError(ParallelError):
+    """A shard exhausted its retry budget (crash, timeout, or task error).
+
+    Carries the :class:`~repro.parallel.shards.ShardSpec` that failed as
+    ``spec`` (self-describing, so the caller can replay exactly the work
+    that failed) and the number of attempts made as ``attempts``.
+    """
+
+    def __init__(self, message: str, spec: object = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.attempts = attempts
+
+
+class BenchError(ReproError):
+    """The :mod:`repro.bench` benchmark harness was misused."""
+
+
+class BenchRegressionError(BenchError):
+    """A benchmark scenario regressed beyond the configured threshold."""
 
 
 class LintError(ReproError):

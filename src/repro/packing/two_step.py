@@ -31,7 +31,7 @@ Implementation notes (DESIGN.md §5):
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -39,7 +39,10 @@ from ..obs.profiling import profiled
 from ..workload.activity import ActivityItem
 from .livbp import TTP_TOL, GroupingSolution, LIVBPwFCProblem
 
-__all__ = ["two_step_grouping", "initial_groups"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime is lazy)
+    from ..parallel.runner import ProcessPoolRunner
+
+__all__ = ["two_step_grouping", "initial_groups", "pack_initial_group"]
 
 
 def initial_groups(items: Sequence[ActivityItem]) -> dict[int, list[ActivityItem]]:
@@ -67,13 +70,25 @@ def _candidate_key(
     return tuple(int(x) for x in hist[::-1]), candidate.active_epoch_count, candidate.tenant_id
 
 
-def _pack_one_initial_group(
-    items: list[ActivityItem], problem: LIVBPwFCProblem
+def pack_initial_group(
+    items: Sequence[ActivityItem],
+    num_epochs: int,
+    replication_factor: int,
+    sla_fraction: float,
 ) -> list[list[int]]:
-    """Step 2 for one homogeneous initial group."""
-    d = problem.num_epochs
-    r = problem.replication_factor
-    p = problem.sla_fraction
+    """Step 2 for one homogeneous initial group (a shardable work unit).
+
+    Initial groups are independent of each other — Step 2 never moves a
+    tenant across node-size classes — so the parallel fabric runs one
+    shard per initial group and concatenates the results in size order
+    (:mod:`repro.parallel.tasks` registers this as the
+    ``pack_initial_group`` task).  Takes scalar problem parameters rather
+    than the whole :class:`LIVBPwFCProblem` so a shard ships only its own
+    items across the process boundary.
+    """
+    d = num_epochs
+    r = replication_factor
+    p = sla_fraction
     remaining = sorted(items, key=lambda it: (it.active_epoch_count, it.tenant_id))
     groups: list[list[int]] = []
     while remaining:
@@ -109,12 +124,41 @@ def _pack_one_initial_group(
 
 
 @profiled("packing.two_step_grouping")
-def two_step_grouping(problem: LIVBPwFCProblem) -> GroupingSolution:
-    """Run Algorithm 2 on a LIVBPwFC instance."""
+def two_step_grouping(
+    problem: LIVBPwFCProblem, runner: "Optional[ProcessPoolRunner]" = None
+) -> GroupingSolution:
+    """Run Algorithm 2 on a LIVBPwFC instance.
+
+    With a :class:`~repro.parallel.runner.ProcessPoolRunner`, each initial
+    group (node-size class) packs in its own shard; the grouping produced
+    is identical to the serial run because initial groups are independent
+    and the merger concatenates them in ascending size order.  In that
+    mode ``solve_seconds`` is the *sum of per-shard packing time* measured
+    inside each shard with ``perf_counter`` — comparable to the serial
+    number, free of pool-scheduling noise.
+    """
+    by_size = initial_groups(problem.items)
+    if runner is not None and len(by_size) > 1:
+        from ..parallel.merge import ResultMerger
+        from ..parallel.tasks import pack_shards
+
+        merged = ResultMerger().merge(runner.run(pack_shards(problem)))
+        return GroupingSolution(
+            problem,
+            merged.flat(),
+            solver="2-step",
+            solve_seconds=merged.timings.get("pack_s", 0.0),
+        )
     started = time.perf_counter()
     all_groups: list[list[int]] = []
-    by_size = initial_groups(problem.items)
     for nodes in sorted(by_size):
-        all_groups.extend(_pack_one_initial_group(list(by_size[nodes]), problem))
+        all_groups.extend(
+            pack_initial_group(
+                by_size[nodes],
+                problem.num_epochs,
+                problem.replication_factor,
+                problem.sla_fraction,
+            )
+        )
     elapsed = time.perf_counter() - started
     return GroupingSolution(problem, all_groups, solver="2-step", solve_seconds=elapsed)

@@ -1,0 +1,67 @@
+"""``repro.parallel`` — the deterministic multi-process execution fabric.
+
+The paper's evaluation sweeps five parameters over simulations of
+thousands of tenants; every one of those work units is embarrassingly
+parallel, and this package is the one sanctioned way to spread them over
+cores (lint rule THR009 forbids raw ``multiprocessing`` /
+``concurrent.futures`` anywhere else in ``src/repro``).
+
+The moving parts, in pipeline order:
+
+* :class:`ShardPlanner` splits work into self-describing
+  :class:`ShardSpec` units (task reference + picklable payload + master
+  seed);
+* :class:`ProcessPoolRunner` executes them on a spawn-safe process pool
+  — ``max_workers=0`` is the in-process serial fallback with identical
+  semantics — with per-shard timeout/retry from a
+  :class:`~repro.core.fault.RetryPolicy` and a typed
+  :class:`~repro.errors.ShardFailedError` carrying the spec on
+  exhaustion;
+* :class:`ResultMerger` reorders out-of-order completions by
+  ``shard_id`` and recombines values, per-shard ``perf_counter``
+  timings, and per-shard :class:`~repro.obs.MemorySink` observability
+  output into one :class:`MergedResult`.
+
+Because every shard derives its RNG streams as
+``derive_seed(master_seed, "shard", shard_id)`` and the merge order is
+canonical, results are bit-identical at any worker count.  See
+``docs/PARALLELISM.md`` for the architecture and the recipe for sharding
+a new workload; :mod:`repro.parallel.tasks` holds the built-in tasks
+(sweep points, Algorithm 2 initial groups, replay replicas).
+"""
+
+from __future__ import annotations
+
+from .merge import MergedResult, ResultMerger
+from .runner import DEFAULT_SHARD_RETRY_POLICY, ProcessPoolRunner
+from .shards import (
+    ShardContext,
+    ShardPlanner,
+    ShardResult,
+    ShardSpec,
+    execute_shard,
+    resolve_task,
+    shard_task,
+    task_ref,
+)
+from .tasks import pack_shards, replay_shards, run_replicas, run_sweep, sweep_shards
+
+__all__ = [
+    "ShardSpec",
+    "ShardContext",
+    "ShardResult",
+    "ShardPlanner",
+    "shard_task",
+    "task_ref",
+    "resolve_task",
+    "execute_shard",
+    "ProcessPoolRunner",
+    "DEFAULT_SHARD_RETRY_POLICY",
+    "ResultMerger",
+    "MergedResult",
+    "sweep_shards",
+    "run_sweep",
+    "pack_shards",
+    "replay_shards",
+    "run_replicas",
+]

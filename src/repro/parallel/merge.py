@@ -1,0 +1,84 @@
+"""Ordered recombination of shard results.
+
+Workers complete in whatever order the scheduler pleases; the
+:class:`ResultMerger` restores the canonical order — ascending
+``shard_id`` — before recombining, so a parallel run's merged output is a
+pure function of the shard specs:
+
+* **values** — one entry per shard, shard order; :meth:`MergedResult.flat`
+  concatenates list-valued shards (e.g. per-initial-group tenant groups).
+* **observability** — each shard's :class:`~repro.obs.MemorySink` records
+  (metric samples, finished spans, one-shot events) are appended into one
+  merged sink, shard by shard, preserving each shard's internal arrival
+  order.  Span/trace ids are per-shard streams and are left untouched;
+  consumers that need global uniqueness should key by ``(shard, span_id)``.
+* **timings** — per-shard ``perf_counter`` durations are summed by name.
+  This is the aggregation the solver-time panels use: the cost of the
+  work itself, measured inside each shard, never the wall time of the
+  pool (which would silently fold scheduling noise into a figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import ParallelError
+from ..obs.sink import MemorySink
+from .shards import ShardResult
+
+__all__ = ["MergedResult", "ResultMerger"]
+
+
+@dataclass(frozen=True)
+class MergedResult:
+    """The recombined output of one shard plan."""
+
+    values: Tuple[Any, ...]
+    timings: Dict[str, float] = field(default_factory=dict)
+    sink: MemorySink = field(default_factory=MemorySink)
+    shard_count: int = 0
+    attempts: int = 0
+    elapsed_s: float = 0.0
+
+    def flat(self) -> List[Any]:
+        """Concatenate list/tuple-valued shards into one flat list."""
+        out: List[Any] = []
+        for value in self.values:
+            if not isinstance(value, (list, tuple)):
+                raise ParallelError(
+                    f"flat() needs list/tuple shard values, got {type(value).__name__}"
+                )
+            out.extend(value)
+        return out
+
+
+class ResultMerger:
+    """Reorders out-of-order shard results and recombines their outputs."""
+
+    def merge(self, results: Sequence[ShardResult]) -> MergedResult:
+        """Merge shard results (any completion order) into shard order."""
+        ordered = sorted(results, key=lambda r: r.shard_id)
+        seen = {r.shard_id for r in ordered}
+        if len(seen) != len(ordered):
+            raise ParallelError("duplicate shard_id in results; merge needs one result per shard")
+        timings: Dict[str, float] = {}
+        sink = MemorySink()
+        attempts = 0
+        elapsed = 0.0
+        for result in ordered:
+            for name, seconds in result.timings:
+                timings[name] = timings.get(name, 0.0) + seconds
+            sink.metrics.extend(result.metrics)
+            sink.spans.extend(result.spans)
+            sink.events.extend(result.events)
+            attempts += result.attempt + 1
+            elapsed += result.elapsed_s
+        return MergedResult(
+            values=tuple(r.value for r in ordered),
+            timings=timings,
+            sink=sink,
+            shard_count=len(ordered),
+            attempts=attempts,
+            elapsed_s=elapsed,
+        )

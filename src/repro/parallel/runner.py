@@ -1,0 +1,177 @@
+"""The process-pool shard runner: the one sanctioned parallelism entry point.
+
+:class:`ProcessPoolRunner` executes :class:`~repro.parallel.shards.ShardSpec`
+lists on a ``concurrent.futures.ProcessPoolExecutor`` (lint rule THR009
+forbids raw ``multiprocessing`` / ``concurrent.futures`` use anywhere else
+in ``src/repro``).  Three properties make it safe to drop into the
+deterministic stack:
+
+* **Spawn-safe.**  Workers are started with the ``spawn`` method by
+  default — a fresh interpreter that re-imports the task's module — so
+  nothing depends on forked globals, open sinks, or inherited RNG state.
+* **Worker-count independent.**  Every shard derives its RNG from the
+  spec alone and results are keyed by ``shard_id``, so ``workers=8``
+  produces bit-identical values to ``workers=2`` or the in-process
+  ``workers=0`` fallback (used by tests and as the degenerate case).
+* **Fault-bounded.**  Each shard gets a retry budget from a
+  :class:`~repro.core.fault.RetryPolicy`; a worker crash, a per-shard
+  timeout, or a task exception consumes one attempt, and exhaustion
+  raises a typed :class:`~repro.errors.ShardFailedError` carrying the
+  spec for replay.
+
+Timeouts are enforced only in pool mode: the clock for shard *i* starts
+when the runner begins waiting on its future (earlier waits overlap its
+execution, so a timeout is a lower bound on the shard's true age).  The
+serial fallback executes shards synchronously and cannot preempt them, so
+``timeout_s`` is ignored there; retry-on-exception still applies.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.fault import RetryPolicy
+from ..errors import ParallelError, ShardFailedError
+from .shards import ShardResult, ShardSpec, execute_shard
+
+__all__ = ["ProcessPoolRunner", "DEFAULT_SHARD_RETRY_POLICY"]
+
+#: Default shard retry budget: one retry, no backoff delay (shards are
+#: deterministic, so immediate replay is as good as a delayed one; the
+#: delay knobs exist for callers whose shards contend on real resources).
+DEFAULT_SHARD_RETRY_POLICY = RetryPolicy(max_attempts=2, base_delay_s=0.0, max_delay_s=0.0)
+
+#: Worker start methods the runner accepts.
+_START_METHODS = ("spawn", "forkserver", "fork")
+
+
+def _failure_message(spec: ShardSpec, attempts: int, exc: BaseException) -> str:
+    return (
+        f"shard {spec.shard_id} ({spec.task}) failed after "
+        f"{attempts} attempt(s): {exc!r}"
+    )
+
+
+class ProcessPoolRunner:
+    """Runs shards on a process pool, or in-process when ``max_workers=0``."""
+
+    def __init__(
+        self,
+        max_workers: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if max_workers < 0:
+            raise ParallelError(f"max_workers must be >= 0, got {max_workers!r}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ParallelError(f"timeout_s must be positive, got {timeout_s!r}")
+        if start_method not in _START_METHODS:
+            raise ParallelError(
+                f"start_method must be one of {_START_METHODS}, got {start_method!r}"
+            )
+        self.max_workers = max_workers
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_SHARD_RETRY_POLICY
+        self.timeout_s = timeout_s
+        self.start_method = start_method
+
+    def run(self, specs: Sequence[ShardSpec]) -> List[ShardResult]:
+        """Execute every shard, returning results in the order given.
+
+        Raises :class:`~repro.errors.ShardFailedError` as soon as any
+        shard exhausts its attempts; results of shards already completed
+        are discarded (the caller replays from the specs, which are cheap
+        and self-describing).
+        """
+        spec_list = list(specs)
+        seen = {spec.shard_id for spec in spec_list}
+        if len(seen) != len(spec_list):
+            raise ParallelError("duplicate shard_id in specs; every shard must be unique")
+        if not spec_list:
+            return []
+        if self.max_workers == 0:
+            return [self._run_one_serial(spec) for spec in spec_list]
+        by_id = self._run_pool(spec_list)
+        return [by_id[spec.shard_id] for spec in spec_list]
+
+    # -- serial fallback ---------------------------------------------------
+
+    def _run_one_serial(self, spec: ShardSpec) -> ShardResult:
+        while True:
+            try:
+                return execute_shard(spec)
+            except Exception as exc:
+                attempts = spec.attempt + 1
+                if attempts >= self.retry_policy.max_attempts:
+                    raise ShardFailedError(
+                        _failure_message(spec, attempts, exc), spec=spec, attempts=attempts
+                    ) from exc
+                spec = spec.retry()
+                self._backoff(spec.attempt)
+
+    # -- pool mode ---------------------------------------------------------
+
+    def _run_pool(self, specs: List[ShardSpec]) -> Dict[int, ShardResult]:
+        results: Dict[int, ShardResult] = {}
+        pending = specs
+        while pending:
+            pending = self._run_round(pending, results)
+            if pending:
+                self._backoff(pending[0].attempt)
+        return results
+
+    def _run_round(
+        self, specs: Sequence[ShardSpec], results: Dict[int, ShardResult]
+    ) -> List[ShardSpec]:
+        """One pool generation: submit every spec, harvest, return retries."""
+        context = multiprocessing.get_context(self.start_method)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(specs)), mp_context=context
+        )
+        retries: List[ShardSpec] = []
+        timed_out = False
+        try:
+            futures = [(spec, pool.submit(execute_shard, spec)) for spec in specs]
+            for spec, future in futures:
+                attempts = spec.attempt + 1
+                try:
+                    result = future.result(timeout=self.timeout_s)
+                except (concurrent.futures.TimeoutError, TimeoutError) as exc:
+                    timed_out = True
+                    future.cancel()
+                    if attempts >= self.retry_policy.max_attempts:
+                        raise ShardFailedError(
+                            _failure_message(spec, attempts, exc),
+                            spec=spec,
+                            attempts=attempts,
+                        ) from exc
+                    retries.append(spec.retry())
+                except Exception as exc:
+                    # Task error or worker crash (BrokenProcessPool); both
+                    # consume one attempt and are retried in a fresh pool.
+                    if attempts >= self.retry_policy.max_attempts:
+                        raise ShardFailedError(
+                            _failure_message(spec, attempts, exc),
+                            spec=spec,
+                            attempts=attempts,
+                        ) from exc
+                    retries.append(spec.retry())
+                else:
+                    results[result.shard_id] = result
+        finally:
+            # After a timeout the stuck worker is abandoned: cancel what
+            # never started and return without joining, so the caller is
+            # not held hostage by the very shard that overran.
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return retries
+
+    # -- shared retry bookkeeping -----------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        """Wall-clock delay before retry number ``attempt`` (0 by default)."""
+        delay = self.retry_policy.backoff_s(max(1, attempt))
+        if delay > 0:
+            time.sleep(delay)

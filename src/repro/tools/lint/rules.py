@@ -23,6 +23,7 @@ __all__ = [
     "PublicAnnotationRule",
     "NoBarePrintRule",
     "EnumValueComparisonRule",
+    "ParallelImportRule",
 ]
 
 #: Layers whose behaviour is replayed deterministically (THR001 scope).
@@ -268,7 +269,7 @@ class PublicAnnotationRule(Rule):
     code = "THR006"
     summary = "public functions in core/, packing/, simulation/, obs/ have complete type annotations"
 
-    _LAYERS = ("core", "packing", "simulation", "obs")
+    _LAYERS = ("core", "packing", "simulation", "obs", "parallel", "bench")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_layer(*self._LAYERS):
@@ -404,3 +405,46 @@ class EnumValueComparisonRule(Rule):
             and isinstance(literal_side, ast.Constant)
             and isinstance(literal_side.value, str)
         )
+
+
+@register
+class ParallelImportRule(Rule):
+    """THR009 — process pools live only behind the ``repro.parallel`` fabric.
+
+    A raw ``multiprocessing`` / ``concurrent.futures`` pool elsewhere in
+    the library bypasses everything the fabric guarantees: per-shard seed
+    derivation (bit-identical results at any worker count), spawn-safe
+    task references, typed :class:`~repro.errors.ShardFailedError` with
+    retry, and ordered merging of per-shard observability output.  Code
+    that needs cores submits :class:`~repro.parallel.ShardSpec` work to a
+    :class:`~repro.parallel.ProcessPoolRunner` instead.
+    """
+
+    code = "THR009"
+    summary = (
+        "no direct multiprocessing/concurrent.futures imports outside "
+        "repro.parallel; submit shards to the execution fabric"
+    )
+
+    _FORBIDDEN_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_repro() or ctx.in_layer("parallel"):
+            return
+        for node in ast.walk(ctx.tree):
+            modules: list[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules = [node.module]
+            for module in modules:
+                if module.split(".")[0] in self._FORBIDDEN_ROOTS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"direct import of `{module}`; process-level parallelism "
+                        "goes through repro.parallel (ShardPlanner + "
+                        "ProcessPoolRunner) so results stay deterministic and "
+                        "failures stay typed",
+                    )
+                    break

@@ -1,0 +1,71 @@
+"""The ``thrifty bench`` subcommand: records, gating, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def run_bench(tmp_path, *extra):
+    args = [
+        "bench",
+        "--scenario",
+        "headline",
+        "--scale",
+        "ci",
+        "--out",
+        str(tmp_path / "out"),
+        "--baseline",
+        str(tmp_path / "baseline"),
+        *extra,
+    ]
+    return main(args)
+
+
+def test_update_baseline_then_gate_passes(tmp_path, capsys):
+    assert run_bench(tmp_path, "--update-baseline") == 0
+    assert (tmp_path / "baseline" / "headline_ci.json").is_file()
+    record = json.loads((tmp_path / "out" / "BENCH_headline.json").read_text())
+    assert record["scenario"] == "headline"
+    assert record["scale"] == "ci"
+    assert record["metrics"]["epochs_per_s"] > 0
+    assert record["git_sha"]
+
+    # Immediately re-running against the fresh baseline must pass the gate
+    # (generous threshold: the workload cache makes the second run faster,
+    # and faster never regresses; the threshold covers jitter upward).
+    assert run_bench(tmp_path, "--threshold", "3.0") == 0
+    out = capsys.readouterr().out
+    assert "bench gate passed" in out
+
+
+def test_regression_exits_nonzero(tmp_path, capsys):
+    assert run_bench(tmp_path, "--update-baseline") == 0
+    # Doctor the baseline into an impossibly fast machine: any real run
+    # is now a >15% regression on both gated metrics.
+    path = tmp_path / "baseline" / "headline_ci.json"
+    record = json.loads(path.read_text())
+    record["metrics"]["wall_s"] /= 1000.0
+    record["metrics"]["epochs_per_s"] *= 1000.0
+    path.write_text(json.dumps(record))
+
+    assert run_bench(tmp_path) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err
+    assert "epochs_per_s" in err
+
+
+def test_missing_baseline_warns_but_passes(tmp_path, capsys):
+    assert run_bench(tmp_path) == 0
+    captured = capsys.readouterr()
+    assert "no baseline" in captured.err
+    assert "bench gate passed" in captured.out
+
+
+def test_unknown_scenario_is_usage_error(tmp_path, capsys):
+    code = main(
+        ["bench", "--scenario", "nope", "--out", str(tmp_path), "--baseline", str(tmp_path)]
+    )
+    assert code == 2
+    assert "unknown bench scenario" in capsys.readouterr().err

@@ -1,0 +1,139 @@
+"""Bench records, baselines, and the regression gate (no scenario runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchRecord,
+    baseline_path,
+    compare_records,
+    default_baseline_dir,
+    git_sha,
+    load_baseline,
+    run_scenarios,
+    update_baselines,
+    write_records,
+)
+from repro.errors import BenchError
+
+
+def record(scenario="headline", scale="ci", wall_s=10.0, epochs_per_s=1000.0, **extra):
+    metrics = {"wall_s": wall_s, "epochs_per_s": epochs_per_s}
+    metrics.update(extra)
+    return BenchRecord(
+        scenario=scenario,
+        scale=scale,
+        workers=2,
+        git_sha="deadbee",
+        wall_s=wall_s,
+        metrics=metrics,
+        detail={"tenants": 60},
+    )
+
+
+class TestRecordRoundTrip:
+    def test_as_dict_from_dict(self):
+        original = record()
+        clone = BenchRecord.from_dict(json.loads(json.dumps(original.as_dict())))
+        assert clone == original
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(BenchError):
+            BenchRecord.from_dict({"scenario": "x"})
+
+    def test_write_records_emits_bench_json(self, tmp_path):
+        paths = write_records([record("fig7"), record("headline")], tmp_path)
+        assert [p.name for p in paths] == ["BENCH_fig7.json", "BENCH_headline.json"]
+        data = json.loads(paths[0].read_text())
+        assert data["scenario"] == "fig7"
+        assert data["metrics"]["wall_s"] == 10.0
+
+
+class TestBaselines:
+    def test_update_then_load_round_trips(self, tmp_path):
+        original = record()
+        update_baselines([original], tmp_path)
+        assert baseline_path(tmp_path, "headline", "ci").is_file()
+        assert load_baseline(tmp_path, "headline", "ci") == original
+
+    def test_missing_baseline_is_none(self, tmp_path):
+        assert load_baseline(tmp_path, "headline", "ci") is None
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        baseline_path(tmp_path, "headline", "ci").write_text("{not json")
+        with pytest.raises(BenchError):
+            load_baseline(tmp_path, "headline", "ci")
+
+    def test_default_baseline_dir_is_the_committed_one(self):
+        path = default_baseline_dir()
+        assert path.name == "baseline"
+        assert path.parent.name == "benchmarks"
+
+
+class TestRegressionGate:
+    def test_within_threshold_is_clean(self, tmp_path):
+        update_baselines([record()], tmp_path)
+        findings, warnings = compare_records(
+            [record(wall_s=11.0, epochs_per_s=950.0)], tmp_path, threshold=0.15
+        )
+        assert findings == []
+        assert warnings == []
+
+    def test_wall_time_regression_fires(self, tmp_path):
+        update_baselines([record()], tmp_path)
+        findings, _ = compare_records([record(wall_s=12.0)], tmp_path, threshold=0.15)
+        assert [f.metric for f in findings] == ["wall_s"]
+        assert findings[0].ratio == pytest.approx(1.2)
+        assert "rose" in findings[0].message()
+
+    def test_throughput_regression_fires(self, tmp_path):
+        update_baselines([record()], tmp_path)
+        findings, _ = compare_records(
+            [record(epochs_per_s=500.0)], tmp_path, threshold=0.15
+        )
+        assert [f.metric for f in findings] == ["epochs_per_s"]
+        assert "fell" in findings[0].message()
+
+    def test_faster_is_never_a_regression(self, tmp_path):
+        update_baselines([record()], tmp_path)
+        findings, _ = compare_records(
+            [record(wall_s=1.0, epochs_per_s=9999.0)], tmp_path, threshold=0.15
+        )
+        assert findings == []
+
+    def test_missing_baseline_warns_but_passes(self, tmp_path):
+        findings, warnings = compare_records([record()], tmp_path)
+        assert findings == []
+        assert len(warnings) == 1
+        assert "--update-baseline" in warnings[0]
+
+    def test_ungated_metrics_are_informational(self, tmp_path):
+        update_baselines([record(obs_overhead=0.1)], tmp_path)
+        findings, _ = compare_records(
+            [record(obs_overhead=5.0)], tmp_path, threshold=0.15
+        )
+        assert findings == []
+
+    def test_nonpositive_threshold_raises(self, tmp_path):
+        with pytest.raises(BenchError):
+            compare_records([record()], tmp_path, threshold=0.0)
+
+
+class TestRunScenarios:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(BenchError):
+            run_scenarios(["nope"], "ci", 0)
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(BenchError):
+            run_scenarios(["headline"], "galactic", 0)
+
+    def test_nonpositive_repeat_raises(self):
+        with pytest.raises(BenchError):
+            run_scenarios(["headline"], "ci", 0, repeat=0)
+
+    def test_git_sha_is_nonempty(self):
+        assert git_sha()

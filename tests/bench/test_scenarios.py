@@ -1,0 +1,74 @@
+"""Scenario registry and a real headline/fig7 run at test scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import BenchScale
+from repro.bench import (
+    BENCH_SCALES,
+    get_scenario,
+    register_scenario,
+    resolve_scale,
+    scenario_names,
+)
+from repro.errors import BenchError
+
+TEST_SCALE = BenchScale(
+    num_tenants=40, horizon_days=7, holiday_weekdays=0, sessions_per_size=4, seed=7
+)
+
+
+class TestRegistry:
+    def test_standard_scenarios_registered(self):
+        assert {"headline", "fig7", "replay"} <= set(scenario_names())
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(BenchError):
+            get_scenario("nope")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(BenchError):
+            register_scenario("headline", "twice")(lambda scale, workers: None)
+
+    def test_standard_scales_registered(self):
+        assert {"ci", "smoke", "default", "large"} <= set(BENCH_SCALES)
+        assert resolve_scale("ci").num_tenants <= resolve_scale("default").num_tenants
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(BenchError):
+            resolve_scale("galactic")
+
+
+class TestHeadlineScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_scenario("headline").run(TEST_SCALE, 0)
+
+    def test_gated_metrics_present(self, result):
+        assert result.wall_s > 0.0
+        assert result.metrics["wall_s"] == result.wall_s
+        assert result.metrics["epochs_per_s"] > 0.0
+
+    def test_reports_pipeline_outputs(self, result):
+        assert 0.0 < result.metrics["effectiveness"] < 1.0
+        assert result.metrics["solver_s"] >= 0.0
+        assert result.detail["tenants"] == TEST_SCALE.num_tenants
+        assert result.detail["nodes_used"] <= result.detail["nodes_requested"]
+
+
+class TestFig7Scenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_scenario("fig7").run(TEST_SCALE, 0)
+
+    def test_sweeps_the_ci_epoch_ladder(self, result):
+        assert result.detail["epoch_sizes"] == [1.0, 30.0, 600.0]
+        assert result.detail["shards"] == 3
+        assert len(result.detail["rows"]) == 3
+
+    def test_solver_time_is_shard_aggregate(self, result):
+        assert result.metrics["solver_s"] > 0.0
+        assert result.metrics["workload_s"] >= 0.0
+        # Shard-internal solver time can never exceed the scenario wall.
+        assert result.metrics["solver_s"] <= result.wall_s

@@ -1,0 +1,94 @@
+"""ResultMerger: canonical ordering, timing sums, sink recombination."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.obs.sink import MetricSample, ObsEvent
+from repro.parallel import MergedResult, ResultMerger, ShardResult
+
+
+def make_result(shard_id, value=None, attempt=0, elapsed=0.1, timings=(), metrics=()):
+    return ShardResult(
+        shard_id=shard_id,
+        task="repro.parallel.tasks:probe",
+        value=value if value is not None else [shard_id],
+        attempt=attempt,
+        elapsed_s=elapsed,
+        timings=tuple(timings),
+        metrics=tuple(metrics),
+    )
+
+
+def sample(shard_id, name="m"):
+    return MetricSample(
+        time=float(shard_id), name=name, kind="gauge", value=1.0,
+        labels=(("shard", str(shard_id)),),
+    )
+
+
+class TestOrdering:
+    def test_out_of_order_completions_merge_in_shard_order(self):
+        results = [make_result(i, value=[f"v{i}"]) for i in range(6)]
+        shuffled = list(results)
+        random.Random(3).shuffle(shuffled)
+        assert [r.shard_id for r in shuffled] != [0, 1, 2, 3, 4, 5]
+        merged = ResultMerger().merge(shuffled)
+        assert merged.values == (["v0"], ["v1"], ["v2"], ["v3"], ["v4"], ["v5"])
+        assert merged.shard_count == 6
+
+    def test_sink_records_follow_shard_order_not_arrival_order(self):
+        results = [
+            make_result(2, metrics=[sample(2)]),
+            make_result(0, metrics=[sample(0)]),
+            make_result(1, metrics=[sample(1)]),
+        ]
+        merged = ResultMerger().merge(results)
+        assert [m.time for m in merged.sink.metrics] == [0.0, 1.0, 2.0]
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ParallelError):
+            ResultMerger().merge([make_result(0), make_result(0)])
+
+
+class TestAggregation:
+    def test_timings_sum_by_name(self):
+        results = [
+            make_result(0, timings=[("solve_s", 1.0), ("io_s", 0.5)]),
+            make_result(1, timings=[("solve_s", 2.0)]),
+        ]
+        merged = ResultMerger().merge(results)
+        assert merged.timings == {"solve_s": 3.0, "io_s": 0.5}
+
+    def test_attempts_and_elapsed_accumulate(self):
+        results = [make_result(0, attempt=1, elapsed=0.2), make_result(1, elapsed=0.3)]
+        merged = ResultMerger().merge(results)
+        assert merged.attempts == 3  # (1 retry + 1) + 1
+        assert merged.elapsed_s == pytest.approx(0.5)
+
+    def test_events_concatenate(self):
+        results = [
+            make_result(1, metrics=[]),
+            make_result(0, metrics=[]),
+        ]
+        results[0] = ShardResult(
+            shard_id=1, task="t:x", value=[], events=(ObsEvent(0.0, "e1", ()),)
+        )
+        merged = ResultMerger().merge(results)
+        assert [e.kind for e in merged.sink.events] == ["e1"]
+
+
+class TestFlat:
+    def test_flat_concatenates_sequences(self):
+        merged = ResultMerger().merge(
+            [make_result(1, value=[3, 4]), make_result(0, value=[1, 2])]
+        )
+        assert merged.flat() == [1, 2, 3, 4]
+
+    def test_flat_rejects_scalar_values(self):
+        merged = MergedResult(values=(1, 2))
+        with pytest.raises(ParallelError):
+            merged.flat()

@@ -1,0 +1,38 @@
+"""Solver sharding: parallel two-step packing reproduces the serial result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.packing.livbp import LIVBPwFCProblem
+from repro.packing.two_step import two_step_grouping
+from repro.parallel import ProcessPoolRunner, ResultMerger, pack_shards
+
+
+@pytest.fixture(scope="module")
+def problem(matrix):
+    return LIVBPwFCProblem.from_activity_matrix(matrix, replication_factor=3, sla_percent=99.0)
+
+
+def test_pack_shards_one_per_node_size_class(problem):
+    specs = pack_shards(problem)
+    sizes = {item.nodes_requested for item in problem.items}
+    assert len(specs) == len(sizes)
+    assert [s.shard_id for s in specs] == list(range(len(sizes)))
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_parallel_grouping_matches_serial(problem, workers):
+    serial = two_step_grouping(problem)
+    parallel = two_step_grouping(problem, runner=ProcessPoolRunner(max_workers=workers))
+    assert parallel.groups == serial.groups
+    assert parallel.solver == serial.solver
+
+
+def test_parallel_solve_seconds_is_shard_pack_aggregate(problem):
+    runner = ProcessPoolRunner(max_workers=0)
+    merged = ResultMerger().merge(runner.run(pack_shards(problem)))
+    solution = two_step_grouping(problem, runner=runner)
+    assert solution.solve_seconds >= 0.0
+    assert merged.timings["pack_s"] > 0.0
+    assert [tuple(g) for g in merged.flat()] == [g.tenant_ids for g in solution.groups]

@@ -468,9 +468,86 @@ class TestSuppression:
         assert violations == []
 
 
+class TestTHR009ParallelImport:
+    def test_fires_on_multiprocessing_import(self, tmp_path):
+        bad = _lint_snippet(
+            tmp_path,
+            "src/repro/core/bad_pool.py",
+            """
+            import multiprocessing
+
+            def fan_out(n: int):
+                return multiprocessing.Pool(n)
+            """,
+            select="THR009",
+        )
+        assert bad and bad[0].line == 2
+
+    def test_fires_on_concurrent_futures_from_import(self, tmp_path):
+        bad = _lint_snippet(
+            tmp_path,
+            "src/repro/analysis/bad_pool.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(n: int):
+                return ProcessPoolExecutor(max_workers=n)
+            """,
+            select="THR009",
+        )
+        assert len(bad) == 1
+
+    def test_quiet_inside_repro_parallel(self, tmp_path):
+        good = _lint_snippet(
+            tmp_path,
+            "src/repro/parallel/runner.py",
+            """
+            import concurrent.futures
+            import multiprocessing
+            """,
+            select="THR009",
+        )
+        assert good == []
+
+    def test_quiet_on_fabric_usage(self, tmp_path):
+        good = _lint_snippet(
+            tmp_path,
+            "src/repro/analysis/good_pool.py",
+            """
+            from repro.parallel import ProcessPoolRunner
+
+            def fan_out(n: int) -> ProcessPoolRunner:
+                return ProcessPoolRunner(max_workers=n)
+            """,
+            select="THR009",
+        )
+        assert good == []
+
+    def test_quiet_outside_repro(self, tmp_path):
+        good = _lint_snippet(
+            tmp_path,
+            "benchmarks/bench_pool.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            select="THR009",
+        )
+        assert good == []
+
+
 @pytest.mark.parametrize(
     "code",
-    ["THR001", "THR002", "THR003", "THR004", "THR005", "THR006", "THR007", "THR008"],
+    [
+        "THR001",
+        "THR002",
+        "THR003",
+        "THR004",
+        "THR005",
+        "THR006",
+        "THR007",
+        "THR008",
+        "THR009",
+    ],
 )
 def test_every_rule_is_registered(code):
     from repro.tools.lint import rule_codes
